@@ -1,0 +1,108 @@
+"""Ablation benchmarks for Algorithm 1's design choices (Remark 1).
+
+One benchmark per extension, each comparing the variant against plain
+Extend on the shared workload:
+
+* ``n-best`` seeding (Remark 1 (1)) — speed vs quality trade-off,
+* pruning unused indexes (Remark 1 (2)) — freed memory,
+* pair seeding (Remark 1 (4)) — extra what-if calls,
+* missed opportunities (Remark 1 (3)) — branch indexes,
+* the swap local search (this repo's extension of Remark 1 (2)/(3)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extend import ExtendAlgorithm
+from repro.core.localsearch import swap_local_search
+from repro.core.variants import (
+    extend_with_missed_opportunities,
+    extend_with_n_best_singles,
+    extend_with_pair_seeds,
+    extend_with_pruning,
+)
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.memory import relative_budget
+
+
+@pytest.fixture(scope="module")
+def budget(bench_workload):
+    return relative_budget(bench_workload.schema, 0.25)
+
+
+def test_ablation_plain(benchmark, bench_workload, bench_optimizer, budget):
+    result = benchmark(
+        lambda: ExtendAlgorithm(bench_optimizer).select(
+            bench_workload, budget
+        )
+    )
+    assert result.memory <= budget
+
+
+def test_ablation_nbest(benchmark, bench_workload, bench_optimizer, budget):
+    plain = ExtendAlgorithm(bench_optimizer).select(
+        bench_workload, budget
+    )
+    result = benchmark(
+        lambda: extend_with_n_best_singles(bench_optimizer, 5).select(
+            bench_workload, budget
+        )
+    )
+    # Restricting seeds can only cost quality, never gain it.
+    assert result.total_cost >= plain.total_cost - 1e-9
+
+
+def test_ablation_prune(benchmark, bench_workload, bench_optimizer, budget):
+    plain = ExtendAlgorithm(bench_optimizer).select(
+        bench_workload, budget
+    )
+    result = benchmark(
+        lambda: extend_with_pruning(bench_optimizer).select(
+            bench_workload, budget
+        )
+    )
+    # Pruning frees memory; within the same budget quality is >= plain.
+    assert result.total_cost <= plain.total_cost * 1.001
+
+
+def test_ablation_pairs(benchmark, bench_workload, bench_optimizer, budget):
+    result = benchmark.pedantic(
+        lambda: extend_with_pair_seeds(bench_optimizer).select(
+            bench_workload, budget
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.memory <= budget
+
+
+def test_ablation_missed(benchmark, bench_workload, bench_optimizer, budget):
+    plain = ExtendAlgorithm(bench_optimizer).select(
+        bench_workload, budget
+    )
+    result = benchmark(
+        lambda: extend_with_missed_opportunities(
+            bench_optimizer, 3
+        ).select(bench_workload, budget)
+    )
+    assert result.total_cost <= plain.total_cost * 1.001
+
+
+def test_ablation_swap(benchmark, bench_workload, bench_optimizer, budget):
+    candidates = syntactically_relevant_candidates(bench_workload)
+    plain = ExtendAlgorithm(bench_optimizer).select(
+        bench_workload, budget
+    )
+    result = benchmark.pedantic(
+        lambda: swap_local_search(
+            bench_workload,
+            bench_optimizer,
+            plain,
+            budget,
+            candidates,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total_cost <= plain.total_cost + 1e-9

@@ -1,0 +1,72 @@
+"""Benchmark: workload compression (Section VI related work).
+
+Measures the time/fidelity trade-off of selecting indexes on a
+compressed workload: solve time must drop with the template count while
+the selection still captures the bulk of the full-workload improvement.
+"""
+
+from __future__ import annotations
+
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.indexes.memory import relative_budget
+from repro.workload.compression import (
+    frequency_share,
+    merge_duplicate_templates,
+    top_k_expensive,
+)
+
+
+def test_compression_speedup(benchmark, bench_workload):
+    budget = relative_budget(bench_workload.schema, 0.25)
+
+    def select_on_compressed():
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(bench_workload.schema))
+        )
+        compressed = top_k_expensive(
+            bench_workload, optimizer, bench_workload.query_count // 3
+        )
+        return optimizer, ExtendAlgorithm(optimizer).select(
+            compressed, budget
+        )
+
+    optimizer, result = benchmark.pedantic(
+        select_on_compressed, rounds=1, iterations=1
+    )
+
+    # Fidelity: the compressed selection must still capture most of the
+    # full-workload improvement over no indexes.
+    no_indexes = optimizer.workload_cost(bench_workload, ())
+    achieved = optimizer.workload_cost(
+        bench_workload, result.configuration
+    )
+    assert achieved <= no_indexes * 0.2
+
+
+def test_merge_is_free_fidelity(benchmark, bench_workload, bench_optimizer):
+    """Duplicate-merging must not change the selected configuration's
+    quality at all."""
+    budget = relative_budget(bench_workload.schema, 0.25)
+    full = ExtendAlgorithm(bench_optimizer).select(
+        bench_workload, budget
+    )
+
+    def select_on_merged():
+        merged = merge_duplicate_templates(bench_workload)
+        return ExtendAlgorithm(bench_optimizer).select(merged, budget)
+
+    merged_result = benchmark.pedantic(
+        select_on_merged, rounds=1, iterations=1
+    )
+    assert merged_result.total_cost <= full.total_cost * (1 + 1e-9)
+
+
+def test_frequency_share_compression_ratio(benchmark, bench_workload, bench_optimizer):
+    """An 80 % cost share keeps far fewer than 80 % of the templates on
+    a skewed workload."""
+    compressed = benchmark(
+        lambda: frequency_share(bench_workload, bench_optimizer, 0.8)
+    )
+    assert compressed.query_count < bench_workload.query_count

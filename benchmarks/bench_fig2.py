@@ -1,0 +1,31 @@
+"""Benchmark: Fig. 2 — frontiers with H1-M/H2-M/H3-M candidate sets.
+
+Runs the scaled Fig. 2 sweep and asserts the paper's shape: H6's frontier
+dominates CoPhy with every reduced candidate heuristic at (almost) every
+budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import Fig2Config, run
+
+_CONFIG = Fig2Config(
+    queries_per_table=6,
+    attributes_per_table=10,
+    candidate_set_size=16,
+    budget_steps=4,
+    include_imax=False,
+    time_limit=20.0,
+)
+
+
+def test_fig2_sweep(benchmark):
+    series = benchmark.pedantic(
+        run, args=(_CONFIG,), rounds=1, iterations=1
+    )
+    h6 = dict(series[0].points)
+    for entry in series[1:]:
+        for w, cost in entry.points:
+            assert h6[w] <= cost * 1.05, (
+                f"H6 lost to {entry.name} at w={w}"
+            )

@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 3 — frontiers across candidate-set sizes.
+
+Asserts the paper's shape: larger H1-M candidate sets give CoPhy weakly
+better frontiers, and H6 tracks the exhaustive reference.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import Fig3Config, run
+
+_CONFIG = Fig3Config(
+    queries_per_table=6,
+    attributes_per_table=10,
+    candidate_set_sizes=(8, 48),
+    budget_steps=4,
+    include_imax=True,
+    time_limit=20.0,
+)
+
+
+def test_fig3_sweep(benchmark):
+    series = benchmark.pedantic(
+        run, args=(_CONFIG,), rounds=1, iterations=1
+    )
+    by_name = {entry.name: dict(entry.points) for entry in series}
+    h6 = by_name["H6"]
+    small = by_name["CoPhy/H1-M(8)"]
+    large = by_name["CoPhy/H1-M(48)"]
+    imax = next(
+        points
+        for name, points in by_name.items()
+        if name.startswith("CoPhy/I_max")
+    )
+    for w in h6:
+        assert large[w] <= small[w] * 1.05
+        if imax[w] > 0 and imax[w] != float("inf"):
+            assert h6[w] <= imax[w] * 1.60  # tracks optimal reference

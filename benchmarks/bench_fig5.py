@@ -1,0 +1,35 @@
+"""Benchmark: Fig. 5 — end-to-end evaluation on measured execution costs.
+
+Runs the scaled measured-cost pipeline (column-store engine, no analytic
+model) and asserts the paper's orderings: H6 tracks CoPhy-with-all-
+candidates and beats the frequency heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import Fig5Config, run
+
+_CONFIG = Fig5Config(
+    queries_per_table=4,
+    attributes_per_table=5,
+    row_cap=5_000,
+    budget_steps=3,
+    time_limit=20.0,
+)
+
+
+def test_fig5_sweep(benchmark):
+    series = benchmark.pedantic(
+        run, args=(_CONFIG,), rounds=1, iterations=1
+    )
+    by_name = {entry.name: dict(entry.points) for entry in series}
+    h6 = by_name["H6"]
+    h1 = by_name["H1"]
+    cophy_all = next(
+        points
+        for name, points in by_name.items()
+        if name.startswith("CoPhy/all")
+    )
+    for w in h6:
+        assert h6[w] <= cophy_all[w] * 1.25
+        assert h6[w] <= h1[w] * 1.05

@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 6 — LP size vs candidate-set share.
+
+Asserts the paper's claim that variables and constraints grow (roughly
+linearly) in the candidate share, and benchmarks the size computation
+itself.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import Fig6Config, run
+
+_CONFIG = Fig6Config(
+    queries_per_table=8,
+    attributes_per_table=10,
+    shares=(0.2, 0.4, 0.6, 0.8, 1.0),
+)
+
+
+def test_fig6_lp_sizes(benchmark):
+    results = benchmark.pedantic(
+        run, args=(_CONFIG,), rounds=1, iterations=1
+    )
+    variables = [size.variables for _, size in results]
+    constraints = [size.constraints for _, size in results]
+    assert variables == sorted(variables)
+    assert constraints == sorted(constraints)
+    # Roughly linear: the largest share has at least 2.5x the smallest.
+    assert variables[-1] >= 2.5 * variables[0]

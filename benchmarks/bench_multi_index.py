@@ -1,0 +1,55 @@
+"""Benchmark: one-index-per-query vs multi-index cost evaluation.
+
+Remark 2 of the paper: Algorithm 1 also works when multiple indexes may
+serve one query, at the price of context-dependent costs.  This benchmark
+compares the two evaluation modes of the Appendix B cost model and
+asserts the multi-index costs are never worse (intersecting position
+lists can only help).
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel
+from repro.indexes.candidates import single_attribute_candidates
+
+
+def test_single_vs_multi_index_costs(benchmark, bench_workload):
+    model = CostModel(bench_workload.schema)
+    singles = single_attribute_candidates(bench_workload)
+
+    def evaluate() -> tuple[float, float]:
+        single_total = 0.0
+        multi_total = 0.0
+        for query in bench_workload:
+            applicable = [
+                index
+                for index in singles
+                if index.is_applicable_to(query)
+            ]
+            single_total += query.frequency * (
+                model.best_single_index_cost(query, applicable)
+            )
+            multi_total += query.frequency * model.multi_index_cost(
+                query, applicable
+            )
+        return single_total, multi_total
+
+    single_total, multi_total = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1
+    )
+    assert multi_total <= single_total * (1 + 1e-9)
+
+
+def test_multi_index_evaluation_speed(benchmark, bench_workload):
+    """Multi-index evaluation is the expensive mode — track its cost."""
+    model = CostModel(bench_workload.schema)
+    singles = single_attribute_candidates(bench_workload)
+    queries = bench_workload.queries[:20]
+
+    def evaluate() -> float:
+        return sum(
+            model.multi_index_cost(query, singles) for query in queries
+        )
+
+    total = benchmark(evaluate)
+    assert total > 0

@@ -1,0 +1,57 @@
+"""Benchmark: Table I — solve-time scaling of H6 vs CoPhy.
+
+Regenerates the paper's Table I rows at CI scale and benchmarks the two
+solve paths separately so their scaling can be compared run over run.
+The asserted shape: H6 solves in a fraction of CoPhy's time on the same
+instance once the candidate set is non-trivial.
+"""
+
+from __future__ import annotations
+
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.experiments.table1 import Table1Config, run
+from repro.indexes.candidates import candidates_h1m
+from repro.indexes.memory import relative_budget
+from repro.workload.stats import WorkloadStatistics
+
+
+def test_table1_rows(benchmark):
+    """Full (scaled) Table I row generation."""
+    config = Table1Config(
+        total_queries=(200,),
+        candidate_sizes=(50, 200),
+        time_limit=20.0,
+    )
+    rows = benchmark.pedantic(run, args=(config,), rounds=1, iterations=1)
+    assert rows[0].h6_runtime > 0
+    assert len(rows[0].cophy_runtimes) == 2
+
+
+def test_h6_solve_time(benchmark, bench_workload, bench_optimizer):
+    """H6's solve path on the shared benchmark workload."""
+    budget = relative_budget(bench_workload.schema, 0.2)
+    # Warm the what-if cache so the benchmark isolates solve time, like
+    # Table I does for CoPhy.
+    ExtendAlgorithm(bench_optimizer).select(bench_workload, budget)
+
+    result = benchmark(
+        lambda: ExtendAlgorithm(bench_optimizer).select(
+            bench_workload, budget
+        )
+    )
+    assert not result.configuration.is_empty
+
+
+def test_cophy_solve_time(benchmark, bench_workload, bench_optimizer):
+    """CoPhy's solve path (cost table pre-built outside the timer)."""
+    statistics = WorkloadStatistics(bench_workload)
+    candidates = candidates_h1m(statistics, 60)
+    budget = relative_budget(bench_workload.schema, 0.2)
+    algorithm = CoPhyAlgorithm(bench_optimizer, time_limit=30.0)
+    bench_optimizer.cost_table(bench_workload, candidates)
+
+    result = benchmark(
+        lambda: algorithm.select(bench_workload, budget, candidates)
+    )
+    assert not result.configuration.is_empty

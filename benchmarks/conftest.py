@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks wrap the experiment harnesses of :mod:`repro.experiments` at
+CI-friendly scales; run the experiment modules directly
+(``python -m repro.experiments.<id>``) for paper-scale numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.workload.generator import GeneratorConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def bench_workload():
+    """A mid-size Appendix C workload (N = 40, Q = 60)."""
+    return generate_workload(
+        GeneratorConfig(
+            tables=4,
+            attributes_per_table=10,
+            queries_per_table=15,
+            seed=1909,
+        )
+    )
+
+
+@pytest.fixture
+def bench_optimizer(bench_workload):
+    """A fresh analytic facade per benchmark (isolated caches)."""
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(bench_workload.schema))
+    )

@@ -1,0 +1,134 @@
+"""One-command mini reproduction of the whole evaluation.
+
+Runs scaled-down versions of every paper artifact back to back and
+prints their outputs — a ~2-minute tour of the reproduction.  For the
+recorded (larger-scale) numbers see EXPERIMENTS.md and results/; for
+paper-scale runs use the per-experiment CLIs documented in README.md.
+
+Run with::
+
+    python examples/full_reproduction.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ablations, fig1, fig2, fig3, fig4, fig5
+from repro.experiments import fig6, table1, whatif_calls
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    started = time.perf_counter()
+
+    _banner("Fig. 1 — TPC-C worked example")
+    print(fig1.render(fig1.run()))
+
+    _banner("Table I — solve-time scaling (scaled: Q = 200)")
+    print(
+        table1.render(
+            table1.run(
+                table1.Table1Config(
+                    total_queries=(200,),
+                    candidate_sizes=(50, 200),
+                    time_limit=20.0,
+                )
+            )
+        )
+    )
+
+    _banner("Fig. 2 — candidate heuristics (scaled: N = 60, Q = 36)")
+    print(
+        fig2.render(
+            fig2.run(
+                fig2.Fig2Config(
+                    queries_per_table=6,
+                    attributes_per_table=10,
+                    candidate_set_size=16,
+                    budget_steps=4,
+                    include_imax=True,
+                    time_limit=20.0,
+                )
+            )
+        )
+    )
+
+    _banner("Fig. 3 — candidate-set sizes (scaled)")
+    print(
+        fig3.render(
+            fig3.run(
+                fig3.Fig3Config(
+                    queries_per_table=6,
+                    attributes_per_table=10,
+                    candidate_set_sizes=(8, 48),
+                    budget_steps=4,
+                    include_imax=True,
+                    time_limit=20.0,
+                )
+            )
+        )
+    )
+
+    _banner("Fig. 4 — enterprise workload (scaled: 5 % of the ERP)")
+    print(
+        fig4.render(
+            fig4.run(
+                fig4.Fig4Config(
+                    workload_scale=0.05,
+                    candidate_set_sizes=(24,),
+                    budget_steps=3,
+                    include_imax=False,
+                    time_limit=20.0,
+                )
+            )
+        )
+    )
+
+    _banner("Fig. 5 — end-to-end on measured costs (scaled)")
+    print(
+        fig5.render(
+            fig5.run(
+                fig5.Fig5Config(
+                    queries_per_table=4,
+                    attributes_per_table=5,
+                    row_cap=10_000,
+                    budget_steps=4,
+                    time_limit=20.0,
+                )
+            )
+        )
+    )
+
+    _banner("Fig. 6 — LP size growth")
+    print(fig6.render(fig6.run()))
+
+    _banner("What-if call accounting (Section III-A)")
+    print(
+        whatif_calls.render(
+            whatif_calls.run(
+                whatif_calls.WhatIfCallsConfig(
+                    queries_per_table_values=(20, 40),
+                    candidate_set_size=200,
+                )
+            )
+        )
+    )
+
+    _banner("Ablations — Remark 1 variants")
+    print(ablations.render(ablations.run()))
+
+    print(
+        f"\nFull mini reproduction finished in "
+        f"{time.perf_counter() - started:.1f}s."
+    )
+
+
+if __name__ == "__main__":
+    main()

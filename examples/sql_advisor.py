@@ -1,0 +1,87 @@
+"""SQL-in, report-out: the advisor pipeline a downstream user runs.
+
+Defines a schema, provides the workload as weighted SQL templates
+(including an update stream, so index maintenance matters), runs the
+recursive selection, and prints the full advisor report with per-index
+benefit attribution and remaining hot spots.
+
+Run with::
+
+    python examples/sql_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AnalyticalCostSource,
+    CostModel,
+    Schema,
+    WhatIfOptimizer,
+    build_report,
+    relative_budget,
+    workload_from_sql,
+)
+from repro.core import ExtendAlgorithm
+
+SCHEMA = Schema.build(
+    {
+        "CUSTOMERS": (
+            2_000_000,
+            [
+                ("ID", 2_000_000, 8),
+                ("EMAIL", 1_900_000, 32),
+                ("COUNTRY", 120, 2),
+                ("SEGMENT", 8, 1),
+                ("CREATED_AT", 1_500_000, 8),
+            ],
+        ),
+        "ORDERS": (
+            30_000_000,
+            [
+                ("ID", 30_000_000, 8),
+                ("CUSTOMER_ID", 2_000_000, 8),
+                ("STATUS", 6, 1),
+                ("WAREHOUSE", 40, 2),
+                ("PLACED_AT", 20_000_000, 8),
+            ],
+        ),
+    }
+)
+
+TEMPLATES = [
+    # The application's hot paths, weighted by executions per hour.
+    ("SELECT * FROM CUSTOMERS WHERE ID = ?", 120_000.0),
+    ("SELECT * FROM CUSTOMERS WHERE EMAIL = ?", 45_000.0),
+    (
+        "SELECT ID FROM CUSTOMERS WHERE COUNTRY = ? AND SEGMENT = ?",
+        800.0,
+    ),
+    ("SELECT * FROM ORDERS WHERE ID = ?", 200_000.0),
+    ("SELECT * FROM ORDERS WHERE CUSTOMER_ID = ?", 90_000.0),
+    (
+        "SELECT ID FROM ORDERS WHERE CUSTOMER_ID = ? AND STATUS = ?",
+        30_000.0,
+    ),
+    ("SELECT ID FROM ORDERS WHERE WAREHOUSE = ? AND STATUS = ?", 2_500.0),
+    # Write streams: maintenance makes over-indexing costly.
+    ("UPDATE ORDERS SET STATUS = ? WHERE ID = ?", 150_000.0),
+    (
+        "INSERT INTO ORDERS (ID, CUSTOMER_ID, STATUS, WAREHOUSE, "
+        "PLACED_AT) VALUES (?, ?, ?, ?, ?)",
+        60_000.0,
+    ),
+]
+
+
+def main() -> None:
+    workload = workload_from_sql(SCHEMA, TEMPLATES)
+    optimizer = WhatIfOptimizer(AnalyticalCostSource(CostModel(SCHEMA)))
+    budget = relative_budget(SCHEMA, 0.35)
+
+    result = ExtendAlgorithm(optimizer).select(workload, budget)
+    report = build_report(workload, optimizer, result)
+    print(report.render(workload))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,214 @@
+"""Reproduction of "Efficient Scalable Multi-Attribute Index Selection
+Using Recursive Strategies" (Schlosser, Kossmann, Boissier — ICDE 2019).
+
+The package implements the paper's recursive constructive index-selection
+algorithm (Algorithm 1, "H6", known as *Extend*), a re-implementation of
+CoPhy's integer-LP approach, the rule-based baselines H1–H5, the
+reproducible cost model and workload generator of the paper's appendices,
+and an in-memory column-store engine for end-to-end (measured-cost)
+evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     GeneratorConfig, generate_workload, CostModel,
+...     AnalyticalCostSource, WhatIfOptimizer, ExtendAlgorithm,
+...     relative_budget,
+... )
+>>> workload = generate_workload(GeneratorConfig(tables=2, seed=7))
+>>> optimizer = WhatIfOptimizer(
+...     AnalyticalCostSource(CostModel(workload.schema)))
+>>> result = ExtendAlgorithm(optimizer).select(
+...     workload, budget=relative_budget(workload.schema, 0.2))
+>>> len(result.configuration) > 0
+True
+"""
+
+from repro.cophy import (
+    CoPhyAlgorithm,
+    CoPhyResult,
+    LPSize,
+    exhaustive_best_selection,
+    lp_size,
+)
+from repro.core import (
+    ConstructionStep,
+    ExtendAlgorithm,
+    ExtendResult,
+    Frontier,
+    FrontierPoint,
+    NO_RECONFIGURATION,
+    ReconfigurationModel,
+    SelectionResult,
+    StepKind,
+    format_steps,
+    frontier_from_steps,
+    swap_local_search,
+)
+from repro.cost import (
+    AnalyticalCostSource,
+    CostModel,
+    CostSource,
+    InteractionReport,
+    pairwise_interaction,
+    WhatIfOptimizer,
+    WhatIfStatistics,
+)
+from repro.engine import (
+    ColumnStoreDatabase,
+    MeasuredCostSource,
+    QueryExecutor,
+    evaluate_configuration,
+)
+from repro.heuristics import (
+    BenefitPerSizeHeuristic,
+    FrequencyHeuristic,
+    PerformanceHeuristic,
+    RankingHeuristic,
+    SelectivityFrequencyHeuristic,
+    SelectivityHeuristic,
+    skyline_filter,
+)
+from repro.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    CostModelError,
+    EngineError,
+    ExperimentError,
+    IndexDefinitionError,
+    ReproError,
+    SchemaError,
+    SolverError,
+    SolverTimeoutError,
+    WorkloadError,
+)
+from repro.indexes import (
+    CANDIDATE_HEURISTICS,
+    Index,
+    IndexConfiguration,
+    all_permutation_candidates,
+    candidates_h1m,
+    candidates_h2m,
+    candidates_h3m,
+    canonical_index,
+    configuration_memory,
+    index_memory,
+    relative_budget,
+    single_attribute_candidates,
+    single_attribute_total_memory,
+    syntactically_relevant_candidates,
+)
+from repro.advisor import IndexAdvisor, Recommendation
+from repro.report import AdvisorReport, IndexReport, build_report
+from repro.workload import (
+    Attribute,
+    DriftConfig,
+    EnterpriseConfig,
+    GeneratorConfig,
+    Query,
+    QueryKind,
+    Schema,
+    Table,
+    Workload,
+    WorkloadStatistics,
+    drifting_workloads,
+    frequency_share,
+    generate_enterprise_workload,
+    generate_workload,
+    merge_duplicate_templates,
+    parse_template,
+    top_k_expensive,
+    tpcc_schema,
+    tpcc_workload,
+    workload_from_sql,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorReport",
+    "AnalyticalCostSource",
+    "Attribute",
+    "DriftConfig",
+    "IndexAdvisor",
+    "IndexReport",
+    "Recommendation",
+    "QueryKind",
+    "build_report",
+    "drifting_workloads",
+    "frequency_share",
+    "merge_duplicate_templates",
+    "parse_template",
+    "top_k_expensive",
+    "workload_from_sql",
+    "BenefitPerSizeHeuristic",
+    "BudgetError",
+    "CANDIDATE_HEURISTICS",
+    "CoPhyAlgorithm",
+    "CoPhyResult",
+    "ColumnStoreDatabase",
+    "ConfigurationError",
+    "ConstructionStep",
+    "CostModel",
+    "CostModelError",
+    "CostSource",
+    "EngineError",
+    "EnterpriseConfig",
+    "ExperimentError",
+    "ExtendAlgorithm",
+    "ExtendResult",
+    "FrequencyHeuristic",
+    "Frontier",
+    "FrontierPoint",
+    "GeneratorConfig",
+    "Index",
+    "IndexConfiguration",
+    "IndexDefinitionError",
+    "InteractionReport",
+    "LPSize",
+    "MeasuredCostSource",
+    "NO_RECONFIGURATION",
+    "PerformanceHeuristic",
+    "Query",
+    "QueryExecutor",
+    "RankingHeuristic",
+    "ReconfigurationModel",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SelectionResult",
+    "SelectivityFrequencyHeuristic",
+    "SelectivityHeuristic",
+    "SolverError",
+    "SolverTimeoutError",
+    "StepKind",
+    "Table",
+    "WhatIfOptimizer",
+    "WhatIfStatistics",
+    "Workload",
+    "WorkloadError",
+    "WorkloadStatistics",
+    "all_permutation_candidates",
+    "evaluate_configuration",
+    "exhaustive_best_selection",
+    "format_steps",
+    "frontier_from_steps",
+    "lp_size",
+    "skyline_filter",
+    "swap_local_search",
+    "candidates_h1m",
+    "candidates_h2m",
+    "candidates_h3m",
+    "canonical_index",
+    "configuration_memory",
+    "generate_enterprise_workload",
+    "generate_workload",
+    "index_memory",
+    "pairwise_interaction",
+    "relative_budget",
+    "single_attribute_candidates",
+    "single_attribute_total_memory",
+    "syntactically_relevant_candidates",
+    "tpcc_schema",
+    "tpcc_workload",
+]

@@ -1,0 +1,246 @@
+"""High-level index advisor facade.
+
+The one-stop API for downstream users: point it at a schema, hand it a
+workload (as :class:`~repro.workload.query.Workload` objects or SQL
+templates), pick a budget, and get a recommendation with a full report.
+
+>>> advisor = IndexAdvisor(schema)
+>>> recommendation = advisor.recommend(
+...     ["SELECT * FROM ORDERS WHERE ID = ?"], budget_share=0.3)
+>>> print(recommendation.report.render(recommendation.workload))
+
+Under the hood this wires together the pieces the experiments use
+individually: the Appendix B cost model behind the caching what-if
+facade, Algorithm 1 (optionally with the swap refinement), and the
+report builder.  Alternative algorithms (CoPhy, H1–H5) are available via
+``algorithm=``; budgets can be given as a share of the all-singles
+footprint (Eq. 10) or as absolute bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.core.localsearch import swap_local_search
+from repro.core.steps import SelectionResult
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.exceptions import BudgetError, ExperimentError
+from repro.heuristics.performance import (
+    BenefitPerSizeHeuristic,
+    PerformanceHeuristic,
+)
+from repro.heuristics.rules import (
+    FrequencyHeuristic,
+    SelectivityFrequencyHeuristic,
+    SelectivityHeuristic,
+)
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.memory import relative_budget
+from repro.report import AdvisorReport, build_report
+from repro.workload.query import Query, Workload
+from repro.workload.schema import Schema
+from repro.workload.sql import workload_from_sql
+
+__all__ = ["IndexAdvisor", "Recommendation"]
+
+_ALGORITHMS = (
+    "extend",
+    "extend+swap",
+    "cophy",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h4+skyline",
+    "h5",
+)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A selection plus everything needed to understand it."""
+
+    workload: Workload
+    result: SelectionResult
+    report: AdvisorReport
+
+    @property
+    def indexes(self) -> list[str]:
+        """Human-readable labels of the recommended indexes."""
+        schema = self.workload.schema
+        return [
+            index.label(schema)
+            for index in sorted(
+                self.result.configuration,
+                key=lambda index: (index.table_name, index.attributes),
+            )
+        ]
+
+
+class IndexAdvisor:
+    """Recommends index configurations for workloads on one schema.
+
+    The advisor owns a shared what-if facade, so repeated calls (more
+    budgets, different algorithms, drifted workloads) reuse all cached
+    cost estimates.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(schema))
+        )
+
+    @property
+    def schema(self) -> Schema:
+        """The schema recommendations are made for."""
+        return self._schema
+
+    @property
+    def optimizer(self) -> WhatIfOptimizer:
+        """The shared what-if facade (exposed for call accounting)."""
+        return self._optimizer
+
+    # ------------------------------------------------------------------
+    # Input coercion
+    # ------------------------------------------------------------------
+
+    def _coerce_workload(
+        self,
+        workload: Workload
+        | Sequence[str]
+        | Sequence[tuple[str, float]]
+        | Iterable[Query],
+    ) -> Workload:
+        if isinstance(workload, Workload):
+            return workload
+        items = list(workload)
+        if not items:
+            raise ExperimentError("empty workload")
+        if isinstance(items[0], Query):
+            return Workload(self._schema, items)  # type: ignore[arg-type]
+        return workload_from_sql(self._schema, items)  # type: ignore[arg-type]
+
+    def _coerce_budget(
+        self, budget_share: float | None, budget_bytes: float | None
+    ) -> float:
+        if (budget_share is None) == (budget_bytes is None):
+            raise BudgetError(
+                "specify exactly one of budget_share / budget_bytes"
+            )
+        if budget_bytes is not None:
+            if budget_bytes < 0:
+                raise BudgetError(
+                    f"budget_bytes must be >= 0, got {budget_bytes}"
+                )
+            return float(budget_bytes)
+        return relative_budget(self._schema, budget_share)
+
+    # ------------------------------------------------------------------
+    # Recommendation
+    # ------------------------------------------------------------------
+
+    def recommend(
+        self,
+        workload: Workload
+        | Sequence[str]
+        | Sequence[tuple[str, float]]
+        | Iterable[Query],
+        *,
+        budget_share: float | None = None,
+        budget_bytes: float | None = None,
+        algorithm: str = "extend+swap",
+        candidate_width: int = 4,
+        hot_spot_count: int = 5,
+    ) -> Recommendation:
+        """Compute an index recommendation.
+
+        Parameters
+        ----------
+        workload:
+            A :class:`Workload`, a list of SQL template strings (or
+            ``(sql, frequency)`` pairs), or an iterable of
+            :class:`Query` objects.
+        budget_share / budget_bytes:
+            Exactly one of: the Eq. 10 share ``w``, or absolute bytes.
+        algorithm:
+            One of ``extend``, ``extend+swap`` (default), ``cophy``,
+            ``h1`` … ``h5``, ``h4+skyline``.
+        candidate_width:
+            Maximum index width for the candidate set of the two-step
+            algorithms (ignored by extend variants).
+        hot_spot_count:
+            How many residual hot spots the report lists.
+        """
+        if algorithm not in _ALGORITHMS:
+            raise ExperimentError(
+                f"unknown algorithm {algorithm!r}; pick one of "
+                f"{', '.join(_ALGORITHMS)}"
+            )
+        resolved = self._coerce_workload(workload)
+        budget = self._coerce_budget(budget_share, budget_bytes)
+
+        result = self._run(resolved, budget, algorithm, candidate_width)
+        report = build_report(
+            resolved,
+            self._optimizer,
+            result,
+            hot_spot_count=hot_spot_count,
+        )
+        return Recommendation(
+            workload=resolved, result=result, report=report
+        )
+
+    def _run(
+        self,
+        workload: Workload,
+        budget: float,
+        algorithm: str,
+        candidate_width: int,
+    ) -> SelectionResult:
+        if algorithm in ("extend", "extend+swap"):
+            result = ExtendAlgorithm(self._optimizer).select(
+                workload, budget
+            )
+            if algorithm == "extend+swap":
+                candidates = syntactically_relevant_candidates(
+                    workload, candidate_width
+                )
+                result = swap_local_search(
+                    workload,
+                    self._optimizer,
+                    result,
+                    budget,
+                    candidates,
+                )
+            return result
+
+        candidates = syntactically_relevant_candidates(
+            workload, candidate_width
+        )
+        if algorithm == "cophy":
+            return CoPhyAlgorithm(
+                self._optimizer, time_limit=120.0
+            ).select(workload, budget, candidates)
+        heuristics = {
+            "h1": FrequencyHeuristic,
+            "h2": SelectivityHeuristic,
+            "h3": SelectivityFrequencyHeuristic,
+            "h5": BenefitPerSizeHeuristic,
+        }
+        if algorithm in heuristics:
+            return heuristics[algorithm](self._optimizer).select(
+                workload, budget, candidates
+            )
+        if algorithm == "h4":
+            return PerformanceHeuristic(self._optimizer).select(
+                workload, budget, candidates
+            )
+        assert algorithm == "h4+skyline"
+        return PerformanceHeuristic(
+            self._optimizer, use_skyline=True
+        ).select(workload, budget, candidates)

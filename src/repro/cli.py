@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro`` or ``repro-advisor``.
+
+Two subcommands:
+
+* ``advise`` — run an index-selection algorithm on one of the built-in
+  workloads and print the recommended configuration, e.g.::
+
+      python -m repro advise --workload tpcc --budget 0.5
+      python -m repro advise --workload appendix-c --algorithm cophy \\
+          --budget 0.2 --candidates 200
+
+* ``experiment`` — run one of the paper-artifact harnesses, e.g.::
+
+      python -m repro experiment table1
+      python -m repro experiment fig5 -- --row-cap 20000
+
+  (arguments after ``--`` are forwarded to the experiment's own CLI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.core.steps import SelectionResult, format_steps
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.exceptions import ExperimentError
+from repro.heuristics.performance import (
+    BenefitPerSizeHeuristic,
+    PerformanceHeuristic,
+)
+from repro.heuristics.rules import (
+    FrequencyHeuristic,
+    SelectivityFrequencyHeuristic,
+    SelectivityHeuristic,
+)
+from repro.indexes.candidates import (
+    candidates_h1m,
+    syntactically_relevant_candidates,
+)
+from repro.indexes.memory import relative_budget
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    generate_enterprise_workload,
+)
+from repro.workload.generator import GeneratorConfig, generate_workload
+from repro.workload.query import Workload
+from repro.workload.stats import WorkloadStatistics
+from repro.workload.tpcc import tpcc_workload
+
+__all__ = ["main"]
+
+_EXPERIMENTS = (
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+    "whatif_calls", "ablations",
+)
+_ALGORITHMS = ("extend", "cophy", "h1", "h2", "h3", "h4", "h4s", "h5")
+
+
+def _build_workload(arguments: argparse.Namespace) -> Workload:
+    if arguments.workload == "tpcc":
+        return tpcc_workload(warehouses=arguments.warehouses)
+    if arguments.workload == "erp":
+        return generate_enterprise_workload(
+            EnterpriseConfig(scale=arguments.scale, seed=arguments.seed)
+        )
+    return generate_workload(
+        GeneratorConfig(
+            tables=arguments.tables,
+            attributes_per_table=arguments.attributes,
+            queries_per_table=arguments.queries,
+            seed=arguments.seed,
+        )
+    )
+
+
+def _run_algorithm(
+    arguments: argparse.Namespace,
+    workload: Workload,
+    optimizer: WhatIfOptimizer,
+    budget: float,
+) -> SelectionResult:
+    name = arguments.algorithm
+    if name == "extend":
+        return ExtendAlgorithm(optimizer).select(workload, budget)
+
+    if arguments.candidates:
+        statistics = WorkloadStatistics(workload)
+        candidates = candidates_h1m(statistics, arguments.candidates)
+    else:
+        candidates = syntactically_relevant_candidates(workload)
+    if name == "cophy":
+        return CoPhyAlgorithm(
+            optimizer, time_limit=arguments.time_limit
+        ).select(workload, budget, candidates)
+    heuristic_types = {
+        "h1": FrequencyHeuristic,
+        "h2": SelectivityHeuristic,
+        "h3": SelectivityFrequencyHeuristic,
+        "h5": BenefitPerSizeHeuristic,
+    }
+    if name in heuristic_types:
+        return heuristic_types[name](optimizer).select(
+            workload, budget, candidates
+        )
+    if name == "h4":
+        return PerformanceHeuristic(optimizer).select(
+            workload, budget, candidates
+        )
+    if name == "h4s":
+        return PerformanceHeuristic(optimizer, use_skyline=True).select(
+            workload, budget, candidates
+        )
+    raise ExperimentError(f"unknown algorithm {name!r}")
+
+
+def _advise(arguments: argparse.Namespace) -> int:
+    workload = _build_workload(arguments)
+    optimizer = WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+    budget = relative_budget(workload.schema, arguments.budget)
+    print(
+        f"Workload: {workload.query_count} queries over "
+        f"{workload.schema.attribute_count} attributes; "
+        f"budget w={arguments.budget} ({budget:,.0f} bytes)"
+    )
+    result = _run_algorithm(arguments, workload, optimizer, budget)
+    baseline = optimizer.workload_cost(workload, ())
+    print(result.summary())
+    print(
+        f"Cost without indexes: {baseline:.6g} "
+        f"({baseline / max(result.total_cost, 1e-12):.1f}x improvement)"
+    )
+    print("\nRecommended indexes:")
+    for index in sorted(
+        result.configuration,
+        key=lambda index: (index.table_name, index.attributes),
+    ):
+        print(f"  {index.label(workload.schema)}")
+    if result.steps and arguments.trace:
+        print("\nConstruction trace:")
+        print(format_steps(result.steps, workload.schema))
+    return 0
+
+
+def _experiment(arguments: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(
+        f"repro.experiments.{arguments.id}"
+    )
+    module.main(arguments.forwarded)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    advise = subparsers.add_parser(
+        "advise", help="recommend an index configuration"
+    )
+    advise.add_argument(
+        "--workload",
+        choices=("appendix-c", "tpcc", "erp"),
+        default="appendix-c",
+    )
+    advise.add_argument(
+        "--algorithm", choices=_ALGORITHMS, default="extend"
+    )
+    advise.add_argument("--budget", type=float, default=0.3,
+                        help="budget share w of Eq. 10 (default 0.3)")
+    advise.add_argument("--tables", type=int, default=3)
+    advise.add_argument("--attributes", type=int, default=10)
+    advise.add_argument("--queries", type=int, default=15)
+    advise.add_argument("--warehouses", type=int, default=10)
+    advise.add_argument("--scale", type=float, default=0.1,
+                        help="ERP workload scale (default 0.1)")
+    advise.add_argument("--seed", type=int, default=1909)
+    advise.add_argument(
+        "--candidates", type=int, default=0,
+        help="H1-M candidate count for two-step algorithms "
+        "(0 = exhaustive)",
+    )
+    advise.add_argument("--time-limit", type=float, default=120.0)
+    advise.add_argument(
+        "--trace", action="store_true",
+        help="print the construction trace (Extend only)",
+    )
+    advise.set_defaults(handler=_advise)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a paper-artifact harness"
+    )
+    experiment.add_argument("id", choices=_EXPERIMENTS)
+    experiment.add_argument(
+        "forwarded", nargs="*",
+        help="arguments forwarded to the experiment CLI",
+    )
+    experiment.set_defaults(handler=_experiment)
+
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""CoPhy re-implementation: BIP formulation, HiGHS solver, LP statistics."""
+
+from repro.cophy.exhaustive import exhaustive_best_selection
+from repro.cophy.model import CoPhyProblem, LPSize, build_problem, lp_size
+from repro.cophy.solver import CoPhyAlgorithm, CoPhyResult
+
+__all__ = [
+    "CoPhyAlgorithm",
+    "CoPhyProblem",
+    "CoPhyResult",
+    "LPSize",
+    "build_problem",
+    "exhaustive_best_selection",
+    "lp_size",
+]

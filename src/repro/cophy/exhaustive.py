@@ -1,0 +1,73 @@
+"""Exhaustive (brute-force) index selection for tiny instances.
+
+Enumerates every subset of the candidate set, keeps those within the
+memory budget, and returns the cheapest under the one-index-per-query cost
+semantics.  Exponential — usable only for verification: tests compare the
+CoPhy solver and (for small budgets) Extend against this ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from repro.core.steps import SelectionResult
+from repro.cost.whatif import WhatIfOptimizer
+from repro.exceptions import SolverError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.indexes.memory import configuration_memory
+from repro.workload.query import Workload
+
+__all__ = ["exhaustive_best_selection"]
+
+_MAX_CANDIDATES = 20
+
+
+def exhaustive_best_selection(
+    workload: Workload,
+    budget: float,
+    candidates: list[Index],
+    optimizer: WhatIfOptimizer,
+    *,
+    max_candidates: int = _MAX_CANDIDATES,
+) -> SelectionResult:
+    """The optimal selection by full enumeration.
+
+    Raises :class:`SolverError` for candidate sets larger than
+    ``max_candidates`` (the default cap of 20 already means up to ~1 M
+    subsets).
+    """
+    if len(candidates) > max_candidates:
+        raise SolverError(
+            f"exhaustive search capped at {max_candidates} candidates, "
+            f"got {len(candidates)}"
+        )
+    calls_before = optimizer.calls
+    started = time.perf_counter()
+    schema = workload.schema
+
+    best_cost = optimizer.workload_cost(workload, ())
+    best_selection: tuple[Index, ...] = ()
+    best_memory = 0
+    for subset_size in range(1, len(candidates) + 1):
+        for subset in combinations(candidates, subset_size):
+            memory = configuration_memory(schema, subset)
+            if memory > budget:
+                continue
+            cost = optimizer.workload_cost(workload, subset)
+            if cost < best_cost or (
+                cost == best_cost and memory < best_memory
+            ):
+                best_cost = cost
+                best_selection = subset
+                best_memory = memory
+    return SelectionResult(
+        algorithm="exhaustive",
+        configuration=IndexConfiguration(best_selection),
+        total_cost=best_cost,
+        memory=best_memory,
+        budget=budget,
+        runtime_seconds=time.perf_counter() - started,
+        whatif_calls=optimizer.calls - calls_before,
+    )

@@ -1,0 +1,49 @@
+"""Core contribution: the recursive constructive selection algorithm."""
+
+from repro.core.budget import NO_RECONFIGURATION, ReconfigurationModel
+from repro.core.dynamic import (
+    AdaptationStrategy,
+    AdaptiveAdvisor,
+    EpochReport,
+)
+from repro.core.extend import ExtendAlgorithm, ExtendResult
+from repro.core.frontier import Frontier, FrontierPoint, frontier_from_steps
+from repro.core.localsearch import swap_local_search
+from repro.core.steps import (
+    ConstructionStep,
+    SelectionResult,
+    StepKind,
+    format_steps,
+)
+from repro.core.variants import (
+    VARIANTS,
+    extend_with_missed_opportunities,
+    extend_with_n_best_singles,
+    extend_with_pair_seeds,
+    extend_with_pruning,
+    plain_extend,
+)
+
+__all__ = [
+    "AdaptationStrategy",
+    "AdaptiveAdvisor",
+    "ConstructionStep",
+    "EpochReport",
+    "ExtendAlgorithm",
+    "ExtendResult",
+    "Frontier",
+    "FrontierPoint",
+    "NO_RECONFIGURATION",
+    "ReconfigurationModel",
+    "SelectionResult",
+    "StepKind",
+    "VARIANTS",
+    "extend_with_missed_opportunities",
+    "extend_with_n_best_singles",
+    "extend_with_pair_seeds",
+    "extend_with_pruning",
+    "format_steps",
+    "frontier_from_steps",
+    "plain_extend",
+    "swap_local_search",
+]

@@ -1,0 +1,97 @@
+"""Reconfiguration costs ``R(I*, Ī*)`` (paper Eq. 3).
+
+The paper allows "arbitrarily defined" costs for changing an existing
+index selection ``Ī*`` into a new one ``I*``: create the indexes in
+``I* \\ Ī*`` and drop the ones in ``Ī* \\ I*``.  This module provides a
+configurable linear model: creating an index costs a sort of its columns
+(``weight · Σ a_i·n · log2(n)`` traffic), dropping is free by default.
+
+Setting both weights to zero recovers the pure selection problem used in
+the paper's main experiments (Sections III and IV ignore reconfiguration
+"for ease of simplicity"); the future-work scenarios of Section VII need
+non-zero weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import BudgetError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.workload.schema import Schema
+
+__all__ = ["ReconfigurationModel", "NO_RECONFIGURATION"]
+
+
+@dataclass(frozen=True)
+class ReconfigurationModel:
+    """Linear create/drop reconfiguration cost model.
+
+    Attributes
+    ----------
+    creation_weight:
+        Multiplier on the sort-traffic estimate
+        ``Σ_{i∈k} a_i · n · log2(n)`` for building index ``k``.
+    drop_weight:
+        Multiplier on the index footprint for dropping it (usually 0 —
+        dropping is a metadata operation).
+    """
+
+    creation_weight: float = 0.0
+    drop_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.creation_weight < 0 or self.drop_weight < 0:
+            raise BudgetError(
+                "reconfiguration weights must be >= 0, got "
+                f"creation={self.creation_weight}, drop={self.drop_weight}"
+            )
+
+    @property
+    def is_free(self) -> bool:
+        """Whether reconfiguration costs vanish entirely."""
+        return self.creation_weight == 0.0 and self.drop_weight == 0.0
+
+    def creation_cost(self, schema: Schema, index: Index) -> float:
+        """Cost of building ``index`` from scratch."""
+        if self.creation_weight == 0.0:
+            return 0.0
+        n = schema.table(index.table_name).row_count
+        column_bytes = sum(
+            schema.value_size(attribute_id) * n
+            for attribute_id in index.attributes
+        )
+        return self.creation_weight * column_bytes * max(math.log2(n), 1.0)
+
+    def drop_cost(self, schema: Schema, index: Index) -> float:
+        """Cost of dropping ``index``."""
+        if self.drop_weight == 0.0:
+            return 0.0
+        n = schema.table(index.table_name).row_count
+        column_bytes = sum(
+            schema.value_size(attribute_id) * n
+            for attribute_id in index.attributes
+        )
+        return self.drop_weight * column_bytes
+
+    def cost(
+        self,
+        schema: Schema,
+        new: IndexConfiguration | Iterable[Index],
+        baseline: IndexConfiguration | Iterable[Index],
+    ) -> float:
+        """``R(I*, Ī*)``: create ``I* \\ Ī*`` plus drop ``Ī* \\ I*``."""
+        new_set = frozenset(new)
+        baseline_set = frozenset(baseline)
+        created = new_set - baseline_set
+        dropped = baseline_set - new_set
+        return sum(
+            self.creation_cost(schema, index) for index in created
+        ) + sum(self.drop_cost(schema, index) for index in dropped)
+
+
+NO_RECONFIGURATION = ReconfigurationModel()
+"""The zero-cost model used by the paper's main experiments."""

@@ -1,0 +1,158 @@
+"""Adaptive index selection for changing workloads (paper Section VII).
+
+The paper's future-work scenario: when workloads change over time, the
+selection must adapt *successively*, and reconfiguration costs decide
+whether reorganizing the index configuration is worth it.  This module
+implements that loop with three strategies the evaluation compares:
+
+* **static** — select once for the first epoch, never change,
+* **reselect** — recompute the selection from scratch every epoch and
+  always switch, paying full reconfiguration each time,
+* **adaptive** — recompute a candidate selection each epoch but switch
+  only when the projected per-epoch saving amortizes the one-off
+  reconfiguration cost within a configurable horizon.
+
+All strategies use Algorithm 1 (Extend) as the per-epoch selector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.budget import ReconfigurationModel
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.whatif import WhatIfOptimizer
+from repro.exceptions import BudgetError
+from repro.indexes.configuration import IndexConfiguration
+from repro.workload.query import Workload
+
+__all__ = ["AdaptationStrategy", "EpochReport", "AdaptiveAdvisor"]
+
+
+class AdaptationStrategy(enum.Enum):
+    """How the advisor reacts to workload change."""
+
+    STATIC = "static"
+    RESELECT = "reselect"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Outcome of one epoch of the adaptation loop.
+
+    ``workload_cost`` is ``F`` of the *active* configuration on this
+    epoch's workload; ``reconfiguration_cost`` is the ``R`` paid this
+    epoch (0 when the configuration was kept).
+    """
+
+    epoch: int
+    configuration: IndexConfiguration
+    workload_cost: float
+    reconfiguration_cost: float
+    switched: bool
+
+    @property
+    def total_cost(self) -> float:
+        """``F + R`` paid in this epoch (the Eq. 3 objective)."""
+        return self.workload_cost + self.reconfiguration_cost
+
+
+class AdaptiveAdvisor:
+    """Maintains an index configuration across workload epochs.
+
+    Parameters
+    ----------
+    optimizer:
+        What-if facade (shared across epochs; its cache keeps what-if
+        calls low when workloads overlap between epochs).
+    budget:
+        Memory budget applied at every epoch.
+    reconfiguration:
+        The cost model for switching configurations.
+    strategy:
+        One of :class:`AdaptationStrategy`.
+    amortization_epochs:
+        For the ADAPTIVE strategy: switch when the projected *per-epoch*
+        saving times this horizon exceeds the reconfiguration cost.
+    """
+
+    def __init__(
+        self,
+        optimizer: WhatIfOptimizer,
+        budget: float,
+        reconfiguration: ReconfigurationModel,
+        *,
+        strategy: AdaptationStrategy = AdaptationStrategy.ADAPTIVE,
+        amortization_epochs: int = 3,
+    ) -> None:
+        if budget < 0:
+            raise BudgetError(f"budget must be >= 0, got {budget}")
+        if amortization_epochs < 1:
+            raise BudgetError(
+                "amortization_epochs must be >= 1, got "
+                f"{amortization_epochs}"
+            )
+        self._optimizer = optimizer
+        self._budget = budget
+        self._reconfiguration = reconfiguration
+        self._strategy = strategy
+        self._amortization = amortization_epochs
+        self._current = IndexConfiguration()
+        self._epoch = 0
+
+    @property
+    def configuration(self) -> IndexConfiguration:
+        """The currently active configuration."""
+        return self._current
+
+    def observe(self, workload: Workload) -> EpochReport:
+        """Process one epoch: maybe reconfigure, then report costs."""
+        schema = workload.schema
+        target = ExtendAlgorithm(self._optimizer).select(
+            workload, self._budget
+        )
+        current_cost = self._optimizer.workload_cost(
+            workload, self._current
+        )
+
+        switch = False
+        if self._epoch == 0 or self._strategy is (
+            AdaptationStrategy.RESELECT
+        ):
+            switch = True
+        elif self._strategy is AdaptationStrategy.ADAPTIVE:
+            switch_cost = self._reconfiguration.cost(
+                schema, target.configuration, self._current
+            )
+            saving_per_epoch = current_cost - target.total_cost
+            switch = (
+                saving_per_epoch * self._amortization > switch_cost
+            )
+        # STATIC never switches after epoch 0.
+
+        paid_reconfiguration = 0.0
+        if switch and target.configuration != self._current:
+            paid_reconfiguration = self._reconfiguration.cost(
+                schema, target.configuration, self._current
+            )
+            self._current = target.configuration
+        elif switch:
+            switch = False
+
+        report = EpochReport(
+            epoch=self._epoch,
+            configuration=self._current,
+            workload_cost=self._optimizer.workload_cost(
+                workload, self._current
+            ),
+            reconfiguration_cost=paid_reconfiguration,
+            switched=switch,
+        )
+        self._epoch += 1
+        return report
+
+    def run(self, workloads: list[Workload]) -> list[EpochReport]:
+        """Process a whole epoch sequence and return all reports."""
+        return [self.observe(workload) for workload in workloads]

@@ -1,0 +1,772 @@
+"""Algorithm 1 — the recursive constructive index-selection strategy (H6).
+
+The algorithm grows an index set ``I`` step by step.  Each step considers
+
+* **(3a)** creating a new single-attribute index ``{i}`` (for attributes
+  whose single-attribute index is not yet selected), and
+* **(3b)** appending an attribute ``i`` to the end of an existing index
+  ``k`` ("morphing" ``k`` into ``k·i``),
+
+and applies the step with the best ratio of *additional performance*
+(reduction of ``F + R``) per *additional memory*.  Because every step is
+priced against the current selection, index interaction is accounted for
+by construction; because appended attributes preserve all existing
+prefixes, no step can regress a query's cost.
+
+The implementation mirrors the paper's efficiency argument (Section
+III-A): each potential step keeps the list of queries it could possibly
+affect — for a new single-attribute index these are the queries accessing
+the attribute, for an extension of ``k`` by ``i`` the queries containing
+*all* of ``k``'s attributes plus ``i`` (all other queries keep their usable
+prefix and hence their cost).  What-if costs are fetched once per
+``(query, index)`` pair through the caching facade and step benefits are
+re-evaluated with vectorized arithmetic, so the expensive optimizer is
+called only the "small number" of times the paper advertises
+(``≈ 2·Q·q̄`` in total, with more than half in the very first step).
+
+Optional extensions of Remark 1 are available as constructor flags; see
+:mod:`repro.core.variants` for the named presets used in the ablations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.budget import NO_RECONFIGURATION, ReconfigurationModel
+from repro.core.steps import ConstructionStep, SelectionResult, StepKind
+from repro.cost.whatif import WhatIfOptimizer
+from repro.exceptions import BudgetError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index, canonical_index
+from repro.indexes.memory import index_memory
+from repro.workload.query import Workload
+
+__all__ = ["ExtendAlgorithm", "ExtendResult"]
+
+
+@dataclass(frozen=True)
+class ExtendResult(SelectionResult):
+    """Selection result with the full construction trace.
+
+    Inherits everything from :class:`SelectionResult`; Extend always
+    populates ``steps``, from which the efficient frontier can be read
+    (see :mod:`repro.core.frontier`).
+    """
+
+
+class _Move:
+    """A potential construction step with pre-fetched what-if costs."""
+
+    __slots__ = (
+        "kind",
+        "old_index",
+        "new_index",
+        "memory_delta",
+        "positions",
+        "costs",
+        "weights",
+        "reconfiguration_delta",
+        "maintenance_penalty",
+    )
+
+    def __init__(
+        self,
+        kind: StepKind,
+        old_index: Index | None,
+        new_index: Index,
+        memory_delta: int,
+        positions: np.ndarray,
+        costs: np.ndarray,
+        weights: np.ndarray,
+        reconfiguration_delta: float,
+        maintenance_penalty: float = 0.0,
+    ) -> None:
+        self.kind = kind
+        self.old_index = old_index
+        self.new_index = new_index
+        self.memory_delta = memory_delta
+        self.positions = positions
+        self.costs = costs
+        self.weights = weights
+        self.reconfiguration_delta = reconfiguration_delta
+        self.maintenance_penalty = maintenance_penalty
+
+    def benefit(self, current_costs: np.ndarray) -> float:
+        """Net reduction of ``F + R`` if this move were applied now.
+
+        Subtracts the reconfiguration delta and, for workloads with
+        writes, the frequency-weighted index-maintenance penalty the
+        move would introduce.
+        """
+        reduction = current_costs[self.positions] - self.costs
+        np.maximum(reduction, 0.0, out=reduction)
+        return (
+            float(np.dot(self.weights, reduction))
+            - self.reconfiguration_delta
+            - self.maintenance_penalty
+        )
+
+    def sort_key(self) -> tuple:
+        """Deterministic tie-breaker across moves of equal ratio."""
+        return (
+            self.kind.value,
+            self.new_index.table_name,
+            self.new_index.attributes,
+        )
+
+
+class ExtendAlgorithm:
+    """Recursive constructive multi-attribute index selection (H6).
+
+    Parameters
+    ----------
+    optimizer:
+        The what-if facade providing ``f_j(k)`` costs.
+    max_steps:
+        Optional cap on construction steps (Algorithm 1 Step 4 allows a
+        "predefined maximum number of construction steps").
+    max_index_width:
+        Optional cap on index width.  The paper imposes none; a cap is
+        useful to bound what-if calls on adversarial workloads.
+    n_best_singles:
+        Remark 1 (1): only the ``n`` initially most beneficial (by
+        benefit/size ratio) single-attribute indexes are offered as new
+        seeds.  ``None`` (default) considers all attributes.
+    prune_unused:
+        Remark 1 (2): after each step, drop selected indexes that no
+        query uses anymore.
+    pair_seeds:
+        Remark 1 (4): additionally offer new *two*-attribute indexes
+        (canonical permutation of co-accessed pairs) as seeds.
+    missed_opportunities:
+        Remark 1 (3): remember up to this many runner-up extension moves
+        per step; once their base index has been morphed away, they
+        become "branch" moves that create a separate index sharing the
+        old leading attributes.  0 disables the mechanism.
+    reconfiguration:
+        Cost model for ``R(I*, Ī*)``; defaults to free reconfiguration.
+    baseline:
+        The existing selection ``Ī*`` reconfiguration is priced against.
+    skip_oversized:
+        When ``True`` (default), a step that would overshoot the budget
+        is skipped and smaller fitting steps are still considered —
+        filling tight budgets considerably better.  ``False`` stops the
+        construction at the first non-fitting step (the strict reading
+        of Definition 1's "as long as A is not exceeded", useful when
+        one trace should serve every budget by truncation).
+    """
+
+    name = "H6"
+
+    def __init__(
+        self,
+        optimizer: WhatIfOptimizer,
+        *,
+        max_steps: int | None = None,
+        max_index_width: int | None = None,
+        n_best_singles: int | None = None,
+        prune_unused: bool = False,
+        pair_seeds: bool = False,
+        missed_opportunities: int = 0,
+        reconfiguration: ReconfigurationModel = NO_RECONFIGURATION,
+        baseline: IndexConfiguration | None = None,
+        skip_oversized: bool = True,
+    ) -> None:
+        if max_steps is not None and max_steps < 1:
+            raise BudgetError(f"max_steps must be >= 1, got {max_steps}")
+        if max_index_width is not None and max_index_width < 1:
+            raise BudgetError(
+                f"max_index_width must be >= 1, got {max_index_width}"
+            )
+        if n_best_singles is not None and n_best_singles < 1:
+            raise BudgetError(
+                f"n_best_singles must be >= 1, got {n_best_singles}"
+            )
+        if missed_opportunities < 0:
+            raise BudgetError(
+                "missed_opportunities must be >= 0, got "
+                f"{missed_opportunities}"
+            )
+        self._optimizer = optimizer
+        self._max_steps = max_steps
+        self._max_width = max_index_width
+        self._n_best_singles = n_best_singles
+        self._prune_unused = prune_unused
+        self._pair_seeds = pair_seeds
+        self._missed_budget = missed_opportunities
+        self._reconfiguration = reconfiguration
+        self._baseline = baseline or IndexConfiguration()
+        self._skip_oversized = skip_oversized
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def select(self, workload: Workload, budget: float) -> ExtendResult:
+        """Run the construction until the budget (or another stop) hits.
+
+        Following Definition 1 (H6), the step series is applied "as long
+        as A is not exceeded": construction stops at the first step whose
+        memory would overshoot ``budget``.  Other stop criteria: no step
+        with positive net benefit remains, or ``max_steps`` is reached.
+        """
+        if budget < 0:
+            raise BudgetError(f"budget must be >= 0, got {budget}")
+        started = time.perf_counter()
+        calls_before = self._optimizer.calls
+        state = _ConstructionState(
+            workload,
+            self._optimizer,
+            self._reconfiguration,
+            self._baseline,
+            max_width=self._max_width,
+            n_best_singles=self._n_best_singles,
+            pair_seeds=self._pair_seeds,
+        )
+
+        steps: list[ConstructionStep] = []
+        missed: list[tuple[tuple[int, ...], int]] = []
+        while self._max_steps is None or len(steps) < self._max_steps:
+            state.materialize_branches(missed, self._missed_budget)
+            remaining = budget - state.memory
+            if self._skip_oversized:
+                best, runners_up = state.best_move(
+                    self._missed_budget, max_memory_delta=remaining
+                )
+                if best is None:
+                    break
+            else:
+                best, runners_up = state.best_move(self._missed_budget)
+                if best is None:
+                    break
+                if best[0].memory_delta > remaining:
+                    break
+            move, benefit = best
+            steps.append(state.apply(move, benefit, len(steps) + 1))
+            for runner in runners_up:
+                if runner.kind is StepKind.EXTEND and runner.old_index:
+                    missed.append(
+                        (runner.old_index.attributes, runner.new_index.attributes[-1])
+                    )
+            if self._prune_unused:
+                steps.extend(state.prune_unused(len(steps) + 1))
+
+        runtime = time.perf_counter() - started
+        configuration = state.configuration
+        reconfiguration_cost = self._reconfiguration.cost(
+            workload.schema, configuration, self._baseline
+        )
+        return ExtendResult(
+            algorithm=self.name,
+            configuration=configuration,
+            total_cost=state.total_cost,
+            memory=state.memory,
+            budget=budget,
+            runtime_seconds=runtime,
+            whatif_calls=self._optimizer.calls - calls_before,
+            reconfiguration_cost=reconfiguration_cost,
+            steps=tuple(steps),
+        )
+
+
+class _ConstructionState:
+    """Mutable state of one Extend run."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        optimizer: WhatIfOptimizer,
+        reconfiguration: ReconfigurationModel,
+        baseline: IndexConfiguration,
+        *,
+        max_width: int | None,
+        n_best_singles: int | None,
+        pair_seeds: bool,
+    ) -> None:
+        self._workload = workload
+        self._schema = workload.schema
+        self._optimizer = optimizer
+        self._reconfiguration = reconfiguration
+        self._baseline = baseline
+        self._max_width = max_width
+
+        queries = workload.queries
+        self._queries = queries
+        self._weights = np.array(
+            [query.frequency for query in queries], dtype=np.float64
+        )
+        self._current = np.array(
+            [optimizer.sequential_cost(query) for query in queries],
+            dtype=np.float64,
+        )
+        self._best_index: list[Index | None] = [None] * len(queries)
+
+        # Inverted lists: attribute id -> positions of queries using it.
+        self._queries_with: dict[int, np.ndarray] = {}
+        by_attribute: dict[int, list[int]] = {}
+        for position, query in enumerate(queries):
+            for attribute_id in query.attributes:
+                by_attribute.setdefault(attribute_id, []).append(position)
+        for attribute_id, positions in by_attribute.items():
+            self._queries_with[attribute_id] = np.array(
+                positions, dtype=np.intp
+            )
+        self._query_attribute_sets = [
+            query.attributes for query in queries
+        ]
+
+        self._write_queries = [
+            query for query in queries if not query.is_select
+        ]
+
+        self._selected: set[Index] = set(baseline)
+        self.memory = sum(
+            index_memory(self._schema, index) for index in self._selected
+        )
+        self._maintenance_total = sum(
+            query.frequency * optimizer.maintenance_cost(query, index)
+            for query in self._write_queries
+            for index in self._selected
+        )
+        if self._selected:
+            for position, query in enumerate(queries):
+                # Read/locate part only; maintenance is tracked in
+                # self._maintenance_total.
+                cost = min(
+                    (
+                        optimizer.index_cost(query, index)
+                        for index in self._selected
+                        if index.is_applicable_to(query)
+                    ),
+                    default=self._current[position],
+                )
+                if cost < self._current[position]:
+                    self._current[position] = cost
+
+        self._single_moves: dict[int, _Move] = {}
+        self._extension_moves: dict[tuple[Index, int], _Move] = {}
+        self._branch_moves: dict[tuple[tuple[int, ...], int], _Move] = {}
+        self._seed_singles(n_best_singles)
+        if pair_seeds:
+            self._seed_pairs()
+        for index in self._selected:
+            self._add_extension_moves(index)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+
+    @property
+    def configuration(self) -> IndexConfiguration:
+        """The current selection ``I``."""
+        return IndexConfiguration(self._selected)
+
+    @property
+    def total_cost(self) -> float:
+        """Current workload cost ``F(I)`` including index maintenance."""
+        return (
+            float(np.dot(self._weights, self._current))
+            + self._maintenance_total
+        )
+
+    def _maintenance_delta(
+        self, new_index: Index, old_index: Index | None = None
+    ) -> float:
+        """Frequency-weighted maintenance added by a move."""
+        if not self._write_queries:
+            return 0.0
+        total = 0.0
+        for query in self._write_queries:
+            if query.table_name != new_index.table_name:
+                continue
+            delta = self._optimizer.maintenance_cost(query, new_index)
+            if old_index is not None:
+                delta -= self._optimizer.maintenance_cost(
+                    query, old_index
+                )
+            total += query.frequency * delta
+        return total
+
+    # ------------------------------------------------------------------
+    # Move pools
+    # ------------------------------------------------------------------
+
+    def _seed_singles(self, n_best: int | None) -> None:
+        accessed = sorted(self._queries_with)
+        moves: list[_Move] = []
+        for attribute_id in accessed:
+            move = self._build_single_move(attribute_id)
+            if move is not None:
+                moves.append(move)
+        if n_best is not None and len(moves) > n_best:
+            moves.sort(
+                key=lambda move: -(
+                    move.benefit(self._current) / move.memory_delta
+                )
+            )
+            moves = moves[:n_best]
+        for move in moves:
+            self._single_moves[move.new_index.leading_attribute] = move
+
+    def _seed_pairs(self) -> None:
+        """Remark 1 (4): canonical two-attribute seed indexes."""
+        seen: set[frozenset[int]] = set()
+        for query in self._queries:
+            attributes = sorted(query.attributes)
+            for first_position in range(len(attributes)):
+                for second_position in range(
+                    first_position + 1, len(attributes)
+                ):
+                    pair = frozenset(
+                        (
+                            attributes[first_position],
+                            attributes[second_position],
+                        )
+                    )
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    index = canonical_index(self._schema, pair)
+                    if index in self._selected:
+                        continue
+                    move = self._build_set_move(
+                        StepKind.NEW_PAIR, index, frozenset(pair)
+                    )
+                    if move is not None:
+                        key = (index.attributes[:-1], index.attributes[-1])
+                        self._branch_moves.setdefault(key, move)
+
+    def _build_single_move(self, attribute_id: int) -> _Move | None:
+        index = Index.of(self._schema, (attribute_id,))
+        if index in self._selected:
+            return None
+        positions = self._queries_with[attribute_id]
+        costs = np.array(
+            [
+                self._optimizer.index_cost(self._queries[position], index)
+                for position in positions
+            ],
+            dtype=np.float64,
+        )
+        return _Move(
+            kind=StepKind.NEW_SINGLE,
+            old_index=None,
+            new_index=index,
+            memory_delta=index_memory(self._schema, index),
+            positions=positions,
+            costs=costs,
+            weights=self._weights[positions],
+            reconfiguration_delta=self._reconfiguration.creation_cost(
+                self._schema, index
+            ),
+            maintenance_penalty=self._maintenance_delta(index),
+        )
+
+    def _build_set_move(
+        self, kind: StepKind, index: Index, required: frozenset[int]
+    ) -> _Move | None:
+        """A move creating ``index`` afresh, affecting queries ⊇ required."""
+        positions = self._positions_containing(required)
+        if positions.size == 0:
+            return None
+        costs = np.array(
+            [
+                self._optimizer.index_cost(self._queries[position], index)
+                for position in positions
+            ],
+            dtype=np.float64,
+        )
+        return _Move(
+            kind=kind,
+            old_index=None,
+            new_index=index,
+            memory_delta=index_memory(self._schema, index),
+            positions=positions,
+            costs=costs,
+            weights=self._weights[positions],
+            reconfiguration_delta=self._reconfiguration.creation_cost(
+                self._schema, index
+            ),
+            maintenance_penalty=self._maintenance_delta(index),
+        )
+
+    def _positions_containing(self, required: frozenset[int]) -> np.ndarray:
+        """Positions of queries whose attribute set contains ``required``."""
+        lists = []
+        for attribute_id in required:
+            positions = self._queries_with.get(attribute_id)
+            if positions is None:
+                return np.empty(0, dtype=np.intp)
+            lists.append(positions)
+        lists.sort(key=len)
+        result = lists[0]
+        for other in lists[1:]:
+            result = np.intersect1d(result, other, assume_unique=True)
+            if result.size == 0:
+                break
+        return result
+
+    def _add_extension_moves(self, index: Index) -> None:
+        """Offer appending every same-table attribute to ``index``."""
+        if self._max_width is not None and index.width >= self._max_width:
+            return
+        table = self._schema.table(index.table_name)
+        indexed = set(index.attributes)
+        for attribute in table.attributes:
+            if attribute.id in indexed:
+                continue
+            if attribute.id not in self._queries_with:
+                continue
+            move = self._build_extension_move(index, attribute.id)
+            if move is not None:
+                self._extension_moves[(index, attribute.id)] = move
+
+    def _build_extension_move(
+        self, index: Index, attribute_id: int
+    ) -> _Move | None:
+        extended = index.extended_by(attribute_id)
+        if extended in self._selected:
+            return None
+        required = frozenset(extended.attributes)
+        positions = self._positions_containing(required)
+        if positions.size == 0:
+            return None
+        costs = np.array(
+            [
+                self._optimizer.index_cost(
+                    self._queries[position], extended
+                )
+                for position in positions
+            ],
+            dtype=np.float64,
+        )
+        memory_delta = index_memory(self._schema, extended) - index_memory(
+            self._schema, index
+        )
+        reconfiguration_delta = self._reconfiguration.creation_cost(
+            self._schema, extended
+        ) - self._reconfiguration.creation_cost(self._schema, index)
+        if index in self._baseline:
+            # Morphing a pre-existing index means dropping it and
+            # building the extended one from scratch.
+            reconfiguration_delta = self._reconfiguration.creation_cost(
+                self._schema, extended
+            ) + self._reconfiguration.drop_cost(self._schema, index)
+        return _Move(
+            kind=StepKind.EXTEND,
+            old_index=index,
+            new_index=extended,
+            memory_delta=max(memory_delta, 1),
+            positions=positions,
+            costs=costs,
+            weights=self._weights[positions],
+            reconfiguration_delta=reconfiguration_delta,
+            maintenance_penalty=self._maintenance_delta(
+                extended, index
+            ),
+        )
+
+    def materialize_branches(
+        self,
+        missed: list[tuple[tuple[int, ...], int]],
+        budget: int,
+    ) -> None:
+        """Turn stored missed opportunities into branch moves.
+
+        A missed extension ``(k, i)`` becomes actionable once ``k`` itself
+        is no longer selected (it was morphed in another direction): the
+        branch re-creates ``k·i`` as a separate index, re-estimating its
+        impact (the paper notes re-estimation may be necessary — our
+        what-if facade simply prices the new index).
+        """
+        if budget == 0 or not missed:
+            return
+        still_pending: list[tuple[tuple[int, ...], int]] = []
+        for prefix_attributes, attribute_id in missed:
+            key = (prefix_attributes, attribute_id)
+            if key in self._branch_moves:
+                continue
+            prefix_index = Index(
+                self._schema.attribute(prefix_attributes[0]).table_name,
+                prefix_attributes,
+            )
+            if prefix_index in self._selected:
+                still_pending.append(key)
+                continue  # the normal extension move still exists
+            branch_index = Index(
+                prefix_index.table_name,
+                prefix_attributes + (attribute_id,),
+            )
+            if branch_index in self._selected:
+                continue
+            if any(
+                branch_index.is_prefix_of(selected)
+                for selected in self._selected
+            ):
+                continue
+            move = self._build_set_move(
+                StepKind.BRANCH,
+                branch_index,
+                frozenset(branch_index.attributes),
+            )
+            if move is not None:
+                self._branch_moves[key] = move
+        missed[:] = still_pending
+
+    # ------------------------------------------------------------------
+    # Step selection and application
+    # ------------------------------------------------------------------
+
+    def best_move(
+        self,
+        runner_up_count: int = 0,
+        max_memory_delta: float | None = None,
+    ) -> tuple[tuple[_Move, float] | None, list[_Move]]:
+        """The move with the best benefit/memory ratio, plus runners-up.
+
+        Only moves with strictly positive net benefit qualify; when
+        ``max_memory_delta`` is given, moves that would not fit the
+        remaining budget are skipped.  Ties on the ratio are broken by
+        larger absolute benefit, then by the deterministic move key.
+        """
+        scored: list[tuple[float, float, _Move]] = []
+        for move in self._iter_moves():
+            if (
+                max_memory_delta is not None
+                and move.memory_delta > max_memory_delta
+            ):
+                continue
+            benefit = move.benefit(self._current)
+            if benefit <= 0.0:
+                continue
+            scored.append((benefit / move.memory_delta, benefit, move))
+        if not scored:
+            return None, []
+        scored.sort(
+            key=lambda entry: (-entry[0], -entry[1], entry[2].sort_key())
+        )
+        best_ratio, best_benefit, best = scored[0]
+        runners_up = [
+            entry[2]
+            for entry in scored[1 : 1 + runner_up_count]
+        ]
+        return (best, best_benefit), runners_up
+
+    def _iter_moves(self) -> Iterable[_Move]:
+        yield from self._single_moves.values()
+        yield from self._extension_moves.values()
+        yield from self._branch_moves.values()
+
+    def apply(
+        self, move: _Move, benefit: float, step_number: int
+    ) -> ConstructionStep:
+        """Apply a chosen move and return the recorded step."""
+        cost_before = self.total_cost + self._baseline_reconfiguration()
+        memory_before = self.memory
+
+        if move.kind is StepKind.EXTEND:
+            assert move.old_index is not None
+            self._selected.discard(move.old_index)
+            self._selected.add(move.new_index)
+            # Retire moves extending the morphed index.
+            for key in [
+                key
+                for key in self._extension_moves
+                if key[0] == move.old_index
+            ]:
+                del self._extension_moves[key]
+            # Queries that relied on the old index now rely on the new
+            # one (same usable prefix, same cost).
+            for position in range(len(self._best_index)):
+                if self._best_index[position] == move.old_index:
+                    self._best_index[position] = move.new_index
+        else:
+            self._selected.add(move.new_index)
+            if move.kind is StepKind.NEW_SINGLE:
+                self._single_moves.pop(
+                    move.new_index.leading_attribute, None
+                )
+            else:
+                for key in [
+                    key
+                    for key, pending in self._branch_moves.items()
+                    if pending is move
+                ]:
+                    del self._branch_moves[key]
+
+        self.memory += move.memory_delta
+        self._maintenance_total += move.maintenance_penalty
+
+        improved = move.costs < self._current[move.positions]
+        improved_positions = move.positions[improved]
+        self._current[improved_positions] = move.costs[improved]
+        for position in improved_positions:
+            self._best_index[int(position)] = move.new_index
+
+        self._add_extension_moves(move.new_index)
+
+        cost_after = self.total_cost + self._baseline_reconfiguration()
+        return ConstructionStep(
+            step_number=step_number,
+            kind=move.kind,
+            index_before=move.old_index,
+            index_after=move.new_index,
+            cost_before=cost_before,
+            cost_after=cost_after,
+            memory_before=memory_before,
+            memory_after=self.memory,
+        )
+
+    def _baseline_reconfiguration(self) -> float:
+        if self._reconfiguration.is_free:
+            return 0.0
+        return self._reconfiguration.cost(
+            self._schema, self._selected, self._baseline
+        )
+
+    def prune_unused(self, next_step_number: int) -> list[ConstructionStep]:
+        """Remark 1 (2): drop selected indexes no query relies on.
+
+        An index is unused when it is not the cost-determining index of
+        any query.  Removing it frees memory without changing costs.
+        Baseline indexes are kept (dropping them is a reconfiguration
+        decision, not a cleanup).
+        """
+        used = {index for index in self._best_index if index is not None}
+        removable = [
+            index
+            for index in sorted(
+                self._selected,
+                key=lambda index: (index.table_name, index.attributes),
+            )
+            if index not in used and index not in self._baseline
+        ]
+        steps: list[ConstructionStep] = []
+        for index in removable:
+            cost_before = self.total_cost + self._baseline_reconfiguration()
+            memory_before = self.memory
+            self._selected.discard(index)
+            self.memory -= index_memory(self._schema, index)
+            self._maintenance_total -= self._maintenance_delta(index)
+            for key in [
+                key for key in self._extension_moves if key[0] == index
+            ]:
+                del self._extension_moves[key]
+            steps.append(
+                ConstructionStep(
+                    step_number=next_step_number + len(steps),
+                    kind=StepKind.REMOVE,
+                    index_before=index,
+                    index_after=None,
+                    cost_before=cost_before,
+                    cost_after=self.total_cost
+                    + self._baseline_reconfiguration(),
+                    memory_before=memory_before,
+                    memory_after=self.memory,
+                )
+            )
+        return steps

@@ -1,0 +1,131 @@
+"""Efficient frontier of performance vs. memory.
+
+Algorithm 1's construction steps trace out growing configurations; reading
+the trace at every prefix yields one (memory, cost) point per step — the
+approximation of the Pareto-efficient frontier the paper plots in
+Figs. 2–5.  This module extracts, queries, and compares such frontiers,
+for Extend traces as well as for point sets produced by per-budget runs
+of CoPhy and the heuristics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.steps import ConstructionStep
+
+__all__ = ["FrontierPoint", "Frontier", "frontier_from_steps"]
+
+
+@dataclass(frozen=True, order=True)
+class FrontierPoint:
+    """One (memory, cost) combination on a frontier."""
+
+    memory: float
+    cost: float
+
+
+class Frontier:
+    """A performance/memory frontier.
+
+    Stores the Pareto-efficient subset of the supplied points: increasing
+    memory, strictly decreasing cost.  Querying with :meth:`cost_at`
+    returns the best achievable cost within a memory budget (a step
+    function — configurations do not interpolate).
+    """
+
+    def __init__(self, points: Iterable[FrontierPoint]) -> None:
+        efficient: list[FrontierPoint] = []
+        best_cost = float("inf")
+        for point in sorted(points, key=lambda p: (p.memory, p.cost)):
+            if point.cost < best_cost:
+                efficient.append(point)
+                best_cost = point.cost
+        self._points = tuple(efficient)
+        self._memories = [point.memory for point in self._points]
+
+    @property
+    def points(self) -> tuple[FrontierPoint, ...]:
+        """Pareto-efficient points, ascending memory."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no point lies on the frontier."""
+        return not self._points
+
+    def cost_at(self, budget: float) -> float:
+        """Best cost achievable with memory ``<= budget``.
+
+        Returns ``inf`` when even the smallest configuration exceeds the
+        budget (callers typically fall back to the no-index cost).
+        """
+        position = bisect.bisect_right(self._memories, budget)
+        if position == 0:
+            return float("inf")
+        return self._points[position - 1].cost
+
+    def sampled(self, budgets: Sequence[float]) -> list[FrontierPoint]:
+        """The frontier evaluated at the given budgets (for plotting)."""
+        return [
+            FrontierPoint(memory=budget, cost=self.cost_at(budget))
+            for budget in budgets
+        ]
+
+    def dominates(self, other: "Frontier", budgets: Sequence[float]) -> bool:
+        """Whether this frontier is at least as good at every budget."""
+        return all(
+            self.cost_at(budget) <= other.cost_at(budget)
+            for budget in budgets
+        )
+
+    def mean_relative_gap(
+        self, reference: "Frontier", budgets: Sequence[float]
+    ) -> float:
+        """Average relative cost excess over ``reference`` across budgets.
+
+        0.0 means this frontier matches the reference everywhere; 0.03
+        means on average 3 % worse — the paper reports H6 "always within
+        3 % of the optimal solution" in the end-to-end setting.
+        Budgets where the reference itself is infeasible are skipped.
+        """
+        gaps: list[float] = []
+        for budget in budgets:
+            reference_cost = reference.cost_at(budget)
+            if reference_cost == float("inf") or reference_cost <= 0:
+                continue
+            gaps.append(
+                (self.cost_at(budget) - reference_cost) / reference_cost
+            )
+        if not gaps:
+            return 0.0
+        return sum(gaps) / len(gaps)
+
+
+def frontier_from_steps(
+    steps: Iterable[ConstructionStep],
+    *,
+    initial_cost: float,
+    initial_memory: float = 0.0,
+) -> Frontier:
+    """Build the frontier traced by a construction-step sequence.
+
+    Includes the starting point (no indexes: full sequential cost, zero
+    memory), then one point per applied step.
+    """
+    points = [FrontierPoint(memory=initial_memory, cost=initial_cost)]
+    for step in steps:
+        points.append(
+            FrontierPoint(
+                memory=float(step.memory_after), cost=step.cost_after
+            )
+        )
+    return Frontier(points)

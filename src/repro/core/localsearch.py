@@ -1,0 +1,249 @@
+"""Swap-based local search over index configurations.
+
+Greedy constructive selection (Algorithm 1, but also H4/H5) can strand
+budget in indexes that later steps made nearly redundant — index
+interaction at work: an index that was the best choice at step ``t`` may
+be cannibalized by an index added at step ``t' > t`` (Property 2 of
+Section V).  This module implements an improvement pass in the spirit of
+Remark 1 (2)/(3) and of the "recovery" phase of Kimura et al.: repeatedly
+try to add a beneficial unselected candidate, evicting the selected
+indexes with the smallest marginal value until the budget fits, and keep
+the swap when it lowers total cost.
+
+The pass is algorithm-agnostic: it improves any
+:class:`~repro.indexes.configuration.IndexConfiguration` given a candidate
+pool.  All costs flow through the caching what-if facade, so the extra
+optimizer calls are limited to candidates never priced before.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.steps import SelectionResult
+from repro.cost.whatif import WhatIfOptimizer
+from repro.exceptions import BudgetError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.indexes.memory import index_memory
+from repro.workload.query import Workload
+
+__all__ = ["swap_local_search"]
+
+
+class _CostCache:
+    """Per-(query-position, index) cost matrix fed lazily by the facade."""
+
+    def __init__(self, workload: Workload, optimizer: WhatIfOptimizer):
+        self._workload = workload
+        self._optimizer = optimizer
+        self._queries = workload.queries
+        self.weights = np.array(
+            [query.frequency for query in self._queries], dtype=np.float64
+        )
+        self.sequential = np.array(
+            [optimizer.sequential_cost(query) for query in self._queries],
+            dtype=np.float64,
+        )
+        self._columns: dict[Index, np.ndarray] = {}
+        self._maintenance: dict[Index, float] = {}
+
+    def column(self, index: Index) -> np.ndarray:
+        """Vector of read-part ``f_j(k)`` per query (sequential if n/a)."""
+        cached = self._columns.get(index)
+        if cached is not None:
+            return cached
+        column = np.array(
+            [
+                self._optimizer.index_cost(query, index)
+                if index.is_applicable_to(query)
+                else self.sequential[position]
+                for position, query in enumerate(self._queries)
+            ],
+            dtype=np.float64,
+        )
+        self._columns[index] = column
+        return column
+
+    def maintenance_of(self, index: Index) -> float:
+        """Frequency-weighted maintenance the index imposes on writes."""
+        cached = self._maintenance.get(index)
+        if cached is not None:
+            return cached
+        total = sum(
+            query.frequency
+            * self._optimizer.maintenance_cost(query, index)
+            for query in self._queries
+            if not query.is_select
+        )
+        self._maintenance[index] = total
+        return total
+
+    def configuration_cost(self, indexes: Iterable[Index]) -> float:
+        """``F(I*)`` under one-index-per-query semantics plus the
+        additive maintenance of every selected index."""
+        best = self.sequential.copy()
+        maintenance = 0.0
+        for index in indexes:
+            np.minimum(best, self.column(index), out=best)
+            maintenance += self.maintenance_of(index)
+        return float(np.dot(self.weights, best)) + maintenance
+
+    def per_query_best(self, indexes: Sequence[Index]) -> np.ndarray:
+        """Per-query minimum cost vector for a selection."""
+        best = self.sequential.copy()
+        for index in indexes:
+            np.minimum(best, self.column(index), out=best)
+        return best
+
+
+def swap_local_search(
+    workload: Workload,
+    optimizer: WhatIfOptimizer,
+    result: SelectionResult,
+    budget: float,
+    candidate_pool: Iterable[Index],
+    *,
+    max_rounds: int = 20,
+    max_pool: int = 500,
+) -> SelectionResult:
+    """Improve a selection by budget-respecting swaps.
+
+    Parameters
+    ----------
+    result:
+        The starting selection (from Extend or any heuristic).
+    candidate_pool:
+        Indexes that may be swapped in.  The pool is pruned to the
+        ``max_pool`` candidates with the largest standalone benefit to
+        bound the search.
+    max_rounds:
+        Upper bound on improving swaps (each round changes the
+        configuration, so convergence is guaranteed anyway — costs
+        strictly decrease).
+
+    Returns
+    -------
+    SelectionResult
+        A result with the same algorithm name suffixed ``"+swap"``;
+        identical to the input if no improving swap exists.
+    """
+    if budget < 0:
+        raise BudgetError(f"budget must be >= 0, got {budget}")
+    started = time.perf_counter()
+    calls_before = optimizer.calls
+    schema = workload.schema
+    cache = _CostCache(workload, optimizer)
+
+    selected: set[Index] = set(result.configuration)
+    memory = {
+        index: index_memory(schema, index)
+        for index in selected
+    }
+    current_memory = sum(memory.values())
+
+    pool = [index for index in dict.fromkeys(candidate_pool)]
+    pool = [index for index in pool if index not in selected]
+    if len(pool) > max_pool:
+        # Rank candidates by what they could still add on top of the
+        # current selection — ranking against the no-index baseline would
+        # keep redundant variants of already-covered hot queries and drop
+        # the candidates that cover something new.
+        base = cache.per_query_best(
+            sorted(
+                selected,
+                key=lambda index: (index.table_name, index.attributes),
+            )
+        )
+        scored = sorted(
+            pool,
+            key=lambda index: -float(
+                np.dot(
+                    cache.weights,
+                    np.maximum(base - cache.column(index), 0.0),
+                )
+            ),
+        )
+        pool = scored[:max_pool]
+    for index in pool:
+        memory[index] = index_memory(schema, index)
+
+    current_cost = cache.configuration_cost(selected)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        ordered_selected = sorted(
+            selected, key=lambda index: (index.table_name, index.attributes)
+        )
+        selected_matrix = (
+            np.vstack([cache.column(index) for index in ordered_selected])
+            if ordered_selected
+            else np.empty((0, len(cache.sequential)))
+        )
+
+        improvement: tuple[float, Index, tuple[Index, ...]] | None = None
+        for candidate in pool:
+            if candidate in selected:
+                continue
+            # Marginal value of every selected index *with the candidate
+            # present* — interaction means an index can lose most of its
+            # value once the candidate covers its queries.
+            stacked = np.vstack(
+                [
+                    selected_matrix,
+                    cache.column(candidate)[None, :],
+                    cache.sequential[None, :],
+                ]
+            )
+            owners = np.argmin(stacked, axis=0)
+            two_smallest = np.partition(stacked, 1, axis=0)
+            regret = (two_smallest[1] - two_smallest[0]) * cache.weights
+            marginal = {
+                index: float(regret[owners == row].sum())
+                for row, index in enumerate(ordered_selected)
+            }
+
+            needed = current_memory + memory[candidate] - budget
+            evicted: list[Index] = []
+            if needed > 0:
+                for victim in sorted(
+                    ordered_selected, key=lambda index: marginal[index]
+                ):
+                    evicted.append(victim)
+                    needed -= memory[victim]
+                    if needed <= 0:
+                        break
+                if needed > 0:
+                    continue
+            trial = (selected - set(evicted)) | {candidate}
+            trial_cost = cache.configuration_cost(trial)
+            gain = current_cost - trial_cost
+            if gain > 0 and (
+                improvement is None or gain > improvement[0]
+            ):
+                improvement = (gain, candidate, tuple(evicted))
+        if improvement is None:
+            break
+        _, candidate, evicted = improvement
+        selected = (selected - set(evicted)) | {candidate}
+        current_memory = sum(memory[index] for index in selected)
+        current_cost = cache.configuration_cost(selected)
+        pool = [index for index in pool if index != candidate]
+        pool.extend(evicted)
+
+    return SelectionResult(
+        algorithm=f"{result.algorithm}+swap",
+        configuration=IndexConfiguration(selected),
+        total_cost=current_cost,
+        memory=current_memory,
+        budget=budget,
+        runtime_seconds=result.runtime_seconds
+        + (time.perf_counter() - started),
+        whatif_calls=result.whatif_calls
+        + (optimizer.calls - calls_before),
+        reconfiguration_cost=result.reconfiguration_cost,
+        steps=result.steps,
+    )

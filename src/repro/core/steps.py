@@ -1,0 +1,167 @@
+"""Construction steps and selection results.
+
+Algorithm 1 produces a *series of construction steps*; truncating the
+series at any memory budget yields a selection for that budget.  This
+module defines the step record, the generic result type shared by all
+selection algorithms in the repository (Extend, CoPhy, H1–H5), and the
+pretty-printer that renders a step table like the one of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.workload.schema import Schema
+
+__all__ = ["StepKind", "ConstructionStep", "SelectionResult", "format_steps"]
+
+
+class StepKind(enum.Enum):
+    """What a construction step did to the index set."""
+
+    NEW_SINGLE = "new-single"
+    """Added a new single-attribute index (Algorithm 1 Step 3a)."""
+
+    EXTEND = "extend"
+    """Appended an attribute to an existing index (Step 3b, "morphing")."""
+
+    NEW_PAIR = "new-pair"
+    """Added a new two-attribute index (Remark 1 (4) pair seeding)."""
+
+    BRANCH = "branch"
+    """Materialized a stored missed opportunity (Remark 1 (3)): a new
+    index sharing the leading attributes of a previously morphed one."""
+
+    REMOVE = "remove"
+    """Dropped an index that became unused (Remark 1 (2))."""
+
+
+@dataclass(frozen=True)
+class ConstructionStep:
+    """One applied construction step of Algorithm 1.
+
+    ``cost_*`` values are total workload costs ``F + R`` before and after
+    the step; ``memory_*`` are the configuration footprints ``P``.
+    ``ratio`` is the selection criterion: additional performance per
+    additional memory (``inf`` for removals, which free memory).
+    """
+
+    step_number: int
+    kind: StepKind
+    index_before: Index | None
+    index_after: Index | None
+    cost_before: float
+    cost_after: float
+    memory_before: int
+    memory_after: int
+
+    @property
+    def benefit(self) -> float:
+        """Cost reduction achieved by this step."""
+        return self.cost_before - self.cost_after
+
+    @property
+    def memory_delta(self) -> int:
+        """Additional memory consumed by this step (negative for REMOVE)."""
+        return self.memory_after - self.memory_before
+
+    @property
+    def ratio(self) -> float:
+        """Benefit per additional byte (the Step 3 selection criterion)."""
+        if self.memory_delta <= 0:
+            return float("inf")
+        return self.benefit / self.memory_delta
+
+    def describe(self, schema: Schema | None = None) -> str:
+        """One-line human-readable description."""
+        if self.kind is StepKind.EXTEND:
+            assert self.index_before is not None
+            assert self.index_after is not None
+            appended = self.index_after.attributes[-1]
+            name = (
+                schema.attribute(appended).name if schema else str(appended)
+            )
+            action = (
+                f"extend {self.index_before.label(schema)} by {name} -> "
+                f"{self.index_after.label(schema)}"
+            )
+        elif self.kind is StepKind.REMOVE:
+            assert self.index_before is not None
+            action = f"remove unused {self.index_before.label(schema)}"
+        else:
+            assert self.index_after is not None
+            action = f"create {self.index_after.label(schema)}"
+        return (
+            f"step {self.step_number:>3}: {action} "
+            f"(benefit={self.benefit:.4g}, +mem={self.memory_delta:,}, "
+            f"ratio={self.ratio:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of any index-selection algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the producing algorithm (e.g. ``"H6"``, ``"CoPhy"``).
+    configuration:
+        The selected indexes ``I*``.
+    total_cost:
+        Workload cost ``F(I*)`` under the algorithm's cost semantics
+        (excluding reconfiguration costs, which are reported separately).
+    memory:
+        Configuration footprint ``P(I*)`` in bytes.
+    budget:
+        The memory budget the algorithm was given.
+    runtime_seconds:
+        Wall-clock solve time, excluding what-if calls where the
+        algorithm separates them (CoPhy) and including the full
+        construction for Extend (whose what-if calls are interleaved; the
+        experiment harness reports call counts separately).
+    whatif_calls:
+        Backend what-if calls consumed while computing this selection.
+    reconfiguration_cost:
+        ``R(I*, Ī*)`` against the algorithm's baseline configuration.
+    steps:
+        Construction steps (empty for one-shot algorithms like CoPhy).
+    """
+
+    algorithm: str
+    configuration: IndexConfiguration
+    total_cost: float
+    memory: int
+    budget: float
+    runtime_seconds: float
+    whatif_calls: int
+    reconfiguration_cost: float = 0.0
+    steps: tuple[ConstructionStep, ...] = field(default_factory=tuple)
+
+    @property
+    def objective(self) -> float:
+        """``F(I*) + R(I*, Ī*)`` — the minimized objective (Eq. 3)."""
+        return self.total_cost + self.reconfiguration_cost
+
+    def summary(self) -> str:
+        """One-line result summary for experiment logs."""
+        return (
+            f"{self.algorithm}: cost={self.total_cost:.6g} "
+            f"memory={self.memory:,}/{self.budget:,.0f} "
+            f"indexes={len(self.configuration)} "
+            f"steps={len(self.steps)} "
+            f"whatif={self.whatif_calls} "
+            f"runtime={self.runtime_seconds:.3f}s"
+        )
+
+
+def format_steps(
+    steps: tuple[ConstructionStep, ...], schema: Schema | None = None
+) -> str:
+    """Render a construction-step table in the spirit of Fig. 1."""
+    if not steps:
+        return "(no construction steps)"
+    return "\n".join(step.describe(schema) for step in steps)

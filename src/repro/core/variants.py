@@ -1,0 +1,93 @@
+"""Named presets of Algorithm 1's extensions (paper Remark 1).
+
+Each factory returns a configured :class:`~repro.core.extend.
+ExtendAlgorithm`; the ablation benchmarks compare them against the plain
+algorithm.  The underlying switches live on ``ExtendAlgorithm`` itself —
+these presets exist so experiments can refer to variants by name.
+"""
+
+from __future__ import annotations
+
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.whatif import WhatIfOptimizer
+
+__all__ = [
+    "plain_extend",
+    "extend_with_n_best_singles",
+    "extend_with_pruning",
+    "extend_with_pair_seeds",
+    "extend_with_missed_opportunities",
+    "VARIANTS",
+]
+
+
+def plain_extend(optimizer: WhatIfOptimizer) -> ExtendAlgorithm:
+    """Algorithm 1 exactly as defined (no Remark 1 extensions)."""
+    return ExtendAlgorithm(optimizer)
+
+
+def extend_with_n_best_singles(
+    optimizer: WhatIfOptimizer, n_best: int = 10
+) -> ExtendAlgorithm:
+    """Remark 1 (1): restrict new seeds to the n best single attributes.
+
+    Trades a smaller move pool (faster steps, fewer what-if calls in
+    later steps) against the risk of missing a seed that only becomes
+    valuable once extended.
+    """
+    algorithm = ExtendAlgorithm(optimizer, n_best_singles=n_best)
+    algorithm.name = f"H6/n-best-{n_best}"  # type: ignore[misc]
+    return algorithm
+
+
+def extend_with_pruning(optimizer: WhatIfOptimizer) -> ExtendAlgorithm:
+    """Remark 1 (2): drop indexes that newer indexes made unused.
+
+    Frees budget mid-construction, letting the same budget hold more
+    useful indexes.
+    """
+    algorithm = ExtendAlgorithm(optimizer, prune_unused=True)
+    algorithm.name = "H6/prune"  # type: ignore[misc]
+    return algorithm
+
+
+def extend_with_pair_seeds(optimizer: WhatIfOptimizer) -> ExtendAlgorithm:
+    """Remark 1 (4): also seed canonical two-attribute indexes.
+
+    Requires cheap what-if calls (the pool of priced moves grows
+    quadratically in co-accessed attributes) but can escape cases where
+    no single attribute justifies its memory yet a pair does.
+    """
+    algorithm = ExtendAlgorithm(optimizer, pair_seeds=True)
+    algorithm.name = "H6/pairs"  # type: ignore[misc]
+    return algorithm
+
+
+def extend_with_missed_opportunities(
+    optimizer: WhatIfOptimizer, remembered: int = 3
+) -> ExtendAlgorithm:
+    """Remark 1 (3): re-seed runner-up extensions as branch indexes.
+
+    Lets the construction build several indexes sharing leading
+    attributes (e.g. ``AB`` and ``AC``), which plain morphing cannot.
+    """
+    algorithm = ExtendAlgorithm(
+        optimizer, missed_opportunities=remembered
+    )
+    algorithm.name = f"H6/missed-{remembered}"  # type: ignore[misc]
+    return algorithm
+
+
+VARIANTS = {
+    "plain": plain_extend,
+    "n-best": extend_with_n_best_singles,
+    "prune": extend_with_pruning,
+    "pairs": extend_with_pair_seeds,
+    "missed": extend_with_missed_opportunities,
+}
+"""Name → variant factory, as used by the ablation benchmarks.
+
+The swap local search (:func:`repro.core.localsearch.swap_local_search`)
+is a post-pass rather than an ``ExtendAlgorithm`` configuration, so it is
+applied by the experiment harnesses on top of any variant ("H6+swap").
+"""

@@ -1,0 +1,20 @@
+"""Cost substrate: analytic cost model, what-if facade, IIA analysis."""
+
+from repro.cost.interaction import InteractionReport, pairwise_interaction
+from repro.cost.model import CostModel
+from repro.cost.whatif import (
+    AnalyticalCostSource,
+    CostSource,
+    WhatIfOptimizer,
+    WhatIfStatistics,
+)
+
+__all__ = [
+    "AnalyticalCostSource",
+    "CostModel",
+    "CostSource",
+    "InteractionReport",
+    "pairwise_interaction",
+    "WhatIfOptimizer",
+    "WhatIfStatistics",
+]

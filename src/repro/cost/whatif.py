@@ -1,0 +1,302 @@
+"""What-if optimizer facade with caching and call accounting.
+
+What-if calls are "the major bottleneck for most index selection
+approaches" (Section I); the paper's scalability argument rests on the
+number of such calls (≈ ``2·Q·q̄`` for Algorithm 1 versus
+``≈ Q·q̄·|I|/N`` for CoPhy, Section III-A).  This module provides:
+
+* :class:`CostSource` — the protocol a cost backend implements.  Two
+  backends exist: :class:`AnalyticalCostSource` (Appendix B model) and
+  the measured-execution source in :mod:`repro.engine.measured`.
+* :class:`WhatIfOptimizer` — a caching facade that counts *backend* calls
+  (cache hits are free, exactly like the caching the paper describes in
+  Fig. 1's notes: "required what-if calls from previous steps can be
+  cached").
+
+All selection algorithms in this repository obtain costs exclusively
+through :class:`WhatIfOptimizer`, so call accounting is uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.workload.query import Query, Workload
+
+__all__ = [
+    "CostSource",
+    "AnalyticalCostSource",
+    "WhatIfOptimizer",
+    "WhatIfStatistics",
+]
+
+
+class CostSource(Protocol):
+    """Backend that prices a query under a single index (or none).
+
+    Implementations must be deterministic: the facade caches results.
+    Backends may additionally expose ``maintenance_cost(query, index)``
+    for write queries; the facade treats a missing method as
+    zero-maintenance (read-only backends).
+    """
+
+    def query_cost(self, query: Query, index: Index | None) -> float:
+        """``f_j(k)``, or ``f_j(0)`` when ``index`` is ``None``."""
+        ...  # pragma: no cover - protocol
+
+
+class AnalyticalCostSource:
+    """Cost source backed by the Appendix B analytic model."""
+
+    def __init__(self, cost_model) -> None:
+        self._cost_model = cost_model
+
+    def query_cost(self, query: Query, index: Index | None) -> float:
+        if index is None:
+            return self._cost_model.sequential_cost(query)
+        return self._cost_model.index_cost(query, index)
+
+    def maintenance_cost(self, query: Query, index: Index) -> float:
+        """Per-execution index maintenance of a write query."""
+        return self._cost_model.maintenance_cost(query, index)
+
+    def multi_index_cost(
+        self, query: Query, indexes: tuple[Index, ...]
+    ) -> float:
+        """Context-based multi-index evaluation (Remark 2)."""
+        return self._cost_model.multi_index_cost(query, indexes)
+
+
+@dataclass
+class WhatIfStatistics:
+    """Counters of what-if optimizer usage."""
+
+    calls: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        """Backend calls plus cache hits."""
+        return self.calls + self.cache_hits
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.calls = 0
+        self.cache_hits = 0
+
+
+class WhatIfOptimizer:
+    """Caching what-if optimizer.
+
+    Parameters
+    ----------
+    cost_source:
+        The backend that actually prices ``(query, index)`` pairs.
+    """
+
+    def __init__(self, cost_source: CostSource) -> None:
+        self._source = cost_source
+        # Cache keys are content-based (table, attribute set, kind), not
+        # query-id-based: costs do not depend on frequencies or ids, so
+        # one facade can serve many workloads (drift epochs, compressed
+        # variants) without collisions and with full cache reuse.
+        self._cache: dict[tuple, float] = {}
+        self._maintenance_cache: dict[tuple, float] = {}
+        self._statistics = WhatIfStatistics()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def statistics(self) -> WhatIfStatistics:
+        """Call counters (mutated in place as the optimizer is used)."""
+        return self._statistics
+
+    @property
+    def calls(self) -> int:
+        """Number of backend (non-cached) what-if calls so far."""
+        return self._statistics.calls
+
+    def reset_statistics(self) -> None:
+        """Zero the call counters (the cache itself is kept)."""
+        self._statistics.reset()
+
+    def clear_cache(self) -> None:
+        """Drop all cached costs (counters are kept)."""
+        self._cache.clear()
+        self._maintenance_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Cost queries
+    # ------------------------------------------------------------------
+
+    def sequential_cost(self, query: Query) -> float:
+        """``f_j(0)``: query cost without any index."""
+        return self._lookup(query, None)
+
+    def index_cost(self, query: Query, index: Index) -> float:
+        """``f_j(k)``: query cost with exactly one index.
+
+        Inapplicable indexes price at the sequential cost; the facade
+        short-circuits that case without a backend call, mirroring the
+        paper's observation that only queries an index *could* affect
+        need evaluation.
+        """
+        if not index.is_applicable_to(query):
+            return self.sequential_cost(query)
+        return self._lookup(query, index)
+
+    def maintenance_cost(self, query: Query, index: Index) -> float:
+        """Per-execution maintenance of ``index`` for a write query.
+
+        Zero for SELECTs and for backends without a maintenance model.
+        Maintenance is derived from statistics, not from the what-if
+        optimizer, so it is cached but never counted as a backend call.
+        """
+        if query.is_select:
+            return 0.0
+        key = (
+            query.table_name,
+            query.attributes,
+            query.kind,
+            index,
+        )
+        cached = self._maintenance_cache.get(key)
+        if cached is not None:
+            return cached
+        backend = getattr(self._source, "maintenance_cost", None)
+        cost = 0.0 if backend is None else backend(query, index)
+        self._maintenance_cache[key] = cost
+        return cost
+
+    def configuration_cost(
+        self, query: Query, configuration: IndexConfiguration | Iterable[Index]
+    ) -> float:
+        """``f_j(I*)`` in the one-index-per-query setting (Example 1 (i)).
+
+        Write queries additionally pay maintenance for *every* selected
+        index they touch — the additive penalty that makes over-indexing
+        a real trade-off.
+        """
+        indexes = tuple(configuration)
+        best = self.sequential_cost(query)
+        for index in indexes:
+            if index.is_applicable_to(query):
+                best = min(best, self._lookup(query, index))
+        if not query.is_select:
+            best += sum(
+                self.maintenance_cost(query, index) for index in indexes
+            )
+        return best
+
+    def workload_cost(
+        self,
+        workload: Workload,
+        configuration: IndexConfiguration | Iterable[Index],
+    ) -> float:
+        """``F(I*) = Σ_j b_j · f_j(I*)`` (Eq. 1)."""
+        indexes = tuple(configuration)
+        return sum(
+            query.frequency * self.configuration_cost(query, indexes)
+            for query in workload
+        )
+
+    def multi_configuration_cost(
+        self, query: Query, configuration: IndexConfiguration | Iterable[Index]
+    ) -> float:
+        """``f_j(I*)`` when multiple indexes may serve one query.
+
+        The context-based evaluation of Remark 2 / Appendix B(i) steps
+        1–4: position lists of several indexes are intersected.  Only
+        available with backends exposing ``multi_index_cost`` (the
+        analytic model); cached per (query, applicable-index-set).
+        Write queries pay the same additive maintenance as in
+        :meth:`configuration_cost`.
+        """
+        backend = getattr(self._source, "multi_index_cost", None)
+        if backend is None:
+            return self.configuration_cost(query, configuration)
+        applicable = tuple(
+            sorted(
+                (
+                    index
+                    for index in configuration
+                    if index.table_name == query.table_name
+                ),
+                key=lambda index: (index.table_name, index.attributes),
+            )
+        )
+        key = (
+            query.table_name,
+            query.attributes,
+            query.kind,
+            applicable,
+        )
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = backend(query, applicable)
+            self._statistics.calls += 1
+            self._cache[key] = cached
+        else:
+            self._statistics.cache_hits += 1
+        cost = cached
+        if not query.is_select:
+            cost += sum(
+                self.maintenance_cost(query, index)
+                for index in configuration
+            )
+        return cost
+
+    def multi_workload_cost(
+        self,
+        workload: Workload,
+        configuration: IndexConfiguration | Iterable[Index],
+    ) -> float:
+        """``F(I*)`` under multi-index-per-query semantics."""
+        indexes = tuple(configuration)
+        return sum(
+            query.frequency
+            * self.multi_configuration_cost(query, indexes)
+            for query in workload
+        )
+
+    def cost_table(
+        self, workload: Workload, candidates: Iterable[Index]
+    ) -> dict[tuple[int, Index | None], float]:
+        """Pre-compute ``f_j(k)`` for every query × applicable candidate.
+
+        This is what two-step approaches (CoPhy, H4, H5) must do before
+        their selection phase — the call count it triggers is the
+        ``≈ Q·q̄·|I|/N`` term of Section III-A.  Returns a mapping from
+        ``(query_id, index_or_None)`` to cost, including the sequential
+        baseline per query.
+        """
+        table: dict[tuple[int, Index | None], float] = {}
+        candidate_list = tuple(candidates)
+        for query in workload:
+            table[(query.query_id, None)] = self.sequential_cost(query)
+            for index in candidate_list:
+                if index.is_applicable_to(query):
+                    table[(query.query_id, index)] = self._lookup(
+                        query, index
+                    )
+        return table
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _lookup(self, query: Query, index: Index | None) -> float:
+        key = (query.table_name, query.attributes, query.kind, index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._statistics.cache_hits += 1
+            return cached
+        cost = self._source.query_cost(query, index)
+        self._statistics.calls += 1
+        self._cache[key] = cost
+        return cost

@@ -1,0 +1,32 @@
+"""In-memory column-store engine for measured-cost (end-to-end) runs."""
+
+from repro.engine.columnstore import (
+    DEFAULT_ROW_CAP,
+    ColumnStoreDatabase,
+    ColumnStoreTable,
+)
+from repro.engine.executor import (
+    ExecutionMeasurement,
+    QueryExecutor,
+    generate_literals,
+)
+from repro.engine.index_structures import CompositeSortedIndex, ProbeResult
+from repro.engine.measured import (
+    MeasuredCostSource,
+    WorkloadExecution,
+    evaluate_configuration,
+)
+
+__all__ = [
+    "ColumnStoreDatabase",
+    "ColumnStoreTable",
+    "CompositeSortedIndex",
+    "DEFAULT_ROW_CAP",
+    "ExecutionMeasurement",
+    "MeasuredCostSource",
+    "ProbeResult",
+    "QueryExecutor",
+    "WorkloadExecution",
+    "evaluate_configuration",
+    "generate_literals",
+]

@@ -1,0 +1,163 @@
+"""Composite sorted indexes over column-store tables.
+
+A multi-attribute index is realized the way columnar systems commonly do:
+a row-id permutation that sorts the table by the index's attribute order
+(``np.lexsort``), plus the attribute columns in that sorted order.  Probing
+an equality prefix is a cascade of binary searches: each level narrows the
+current row range to the run holding the probed value, which is contiguous
+because deeper attributes are sorted within runs of the shallower ones.
+
+Probe results report both the matching row ids and the *traffic* the probe
+caused (bytes touched by binary-search comparisons plus position-list
+output), which the executor aggregates into measured query costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.columnstore import ColumnStoreTable
+from repro.exceptions import EngineError
+from repro.indexes.index import Index
+
+__all__ = ["ProbeResult", "CompositeSortedIndex"]
+
+_POSITION_LIST_ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of probing an index with an equality prefix."""
+
+    row_ids: np.ndarray
+    """Matching base-table row ids (unsorted)."""
+
+    bytes_read: float
+    """Bytes touched by binary-search comparisons."""
+
+    bytes_written: float
+    """Bytes written to the output position list."""
+
+    levels_used: int
+    """How many prefix attributes were actually descended."""
+
+    @property
+    def traffic(self) -> float:
+        """Total probe traffic in bytes."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def matches(self) -> int:
+        """Number of qualifying rows."""
+        return int(self.row_ids.size)
+
+
+class CompositeSortedIndex:
+    """A materialized multi-attribute index on one table.
+
+    Parameters
+    ----------
+    table:
+        The materialized table to index.
+    index:
+        The logical index definition (attribute order matters).
+    """
+
+    def __init__(self, table: ColumnStoreTable, index: Index) -> None:
+        if index.table_name != table.name:
+            raise EngineError(
+                f"index {index!r} does not belong to table {table.name!r}"
+            )
+        self._table = table
+        self._definition = index
+        columns = [table.column(a) for a in index.attributes]
+        # lexsort sorts by the *last* key first.
+        self._order = np.lexsort(tuple(reversed(columns)))
+        self._sorted_columns = [
+            column[self._order] for column in columns
+        ]
+        self._value_sizes = [
+            table.value_size(a) for a in index.attributes
+        ]
+
+    @property
+    def definition(self) -> Index:
+        """The logical index this structure materializes."""
+        return self._definition
+
+    @property
+    def memory_bytes(self) -> int:
+        """Footprint: sorted value columns plus the row-id permutation."""
+        n = self._table.row_count
+        position_list = max(
+            1, int(np.ceil(np.ceil(np.log2(max(n, 2))) * n / 8))
+        )
+        return position_list + sum(
+            size * n for size in self._value_sizes
+        )
+
+    def probe(
+        self, values: dict[int, int], prefix_length: int | None = None
+    ) -> ProbeResult:
+        """Find rows matching equality predicates on a prefix.
+
+        Parameters
+        ----------
+        values:
+            Attribute id → probed value.  Must cover a non-empty prefix
+            of the index's attributes.
+        prefix_length:
+            Descend only this many levels (defaults to the longest
+            prefix covered by ``values``).
+
+        Raises
+        ------
+        EngineError
+            If the leading attribute has no probe value.
+        """
+        attributes = self._definition.attributes
+        available = 0
+        for attribute_id in attributes:
+            if attribute_id in values:
+                available += 1
+            else:
+                break
+        if available == 0:
+            raise EngineError(
+                f"probe values {sorted(values)} do not cover the leading "
+                f"attribute of index {attributes}"
+            )
+        levels = (
+            available
+            if prefix_length is None
+            else min(prefix_length, available)
+        )
+        if levels < 1:
+            raise EngineError(
+                f"prefix_length must be >= 1, got {prefix_length}"
+            )
+
+        low, high = 0, self._table.row_count
+        bytes_read = 0.0
+        for level in range(levels):
+            column = self._sorted_columns[level]
+            value = values[attributes[level]]
+            segment = column[low:high]
+            new_low = low + int(np.searchsorted(segment, value, "left"))
+            new_high = low + int(np.searchsorted(segment, value, "right"))
+            # Two binary searches over the current segment.
+            comparisons = 2 * np.log2(max(high - low, 2))
+            bytes_read += comparisons * self._value_sizes[level]
+            low, high = new_low, new_high
+            if low >= high:
+                break
+        row_ids = self._order[low:high]
+        bytes_written = _POSITION_LIST_ENTRY_BYTES * float(row_ids.size)
+        return ProbeResult(
+            row_ids=row_ids,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            levels_used=levels,
+        )

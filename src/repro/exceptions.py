@@ -1,0 +1,77 @@
+"""Error hierarchy for the ``repro`` package.
+
+Every exception raised on purpose by this library derives from
+:class:`ReproError` so that callers can catch library errors with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent.
+
+    Raised for duplicate table or attribute names, non-positive row counts,
+    attributes that reference unknown tables, and similar structural
+    problems.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload definition is inconsistent.
+
+    Raised when a query references attributes that do not exist or span
+    multiple tables, or when a query frequency is not positive.
+    """
+
+
+class IndexDefinitionError(ReproError):
+    """An index definition is invalid.
+
+    Raised for empty indexes, duplicate attributes within an index, and
+    indexes whose attributes span multiple tables.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An index configuration (a set of selected indexes) is invalid."""
+
+
+class BudgetError(ReproError):
+    """A memory budget is invalid (e.g. negative) or cannot be satisfied."""
+
+
+class CostModelError(ReproError):
+    """The cost model was asked to evaluate an impossible situation.
+
+    For example: estimating the cost of a query with an index that is not
+    applicable to it, or evaluating a query against the wrong table.
+    """
+
+
+class SolverError(ReproError):
+    """The LP/BIP solver backend failed or returned an unusable status."""
+
+
+class SolverTimeoutError(SolverError):
+    """The solver hit its time limit before reaching the requested gap.
+
+    This models the "DNF" (did not finish) entries of Table I in the paper.
+    """
+
+
+class EngineError(ReproError):
+    """The in-memory column-store engine was used incorrectly.
+
+    Raised for queries against unknown tables, indexes over unknown
+    columns, or executing a query whose predicate literals are missing.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness received invalid parameters."""

@@ -1,0 +1,49 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module is runnable directly (``python -m repro.experiments.<id>``)
+and exposes ``run(config) -> results`` plus ``render(results) -> str``
+for programmatic use; the ``benchmarks/`` directory wraps the same
+functions with pytest-benchmark at CI-friendly scales.
+
+=========  =========================================================
+module     paper artifact
+=========  =========================================================
+table1     Table I — solve-time scaling H6 vs CoPhy
+fig1       Fig. 1 — TPC-C worked example (illustration)
+fig2       Fig. 2 — frontiers: candidate heuristics (H1-M/H2-M/H3-M)
+fig3       Fig. 3 — frontiers: candidate-set sizes (H1-M)
+fig4       Fig. 4 — enterprise (ERP) workload frontiers
+fig5       Fig. 5 — end-to-end with measured execution costs
+fig6       Fig. 6 — CoPhy LP size vs candidate share
+whatif     what-if call accounting (Section III-A formulas)
+ablations  Remark 1 variant comparison + swap local search
+=========  =========================================================
+"""
+
+from repro.experiments.common import (
+    BudgetSweepSeries,
+    analytic_optimizer,
+    budget_grid,
+    sweep_cophy,
+    sweep_extend,
+    sweep_heuristic,
+)
+from repro.experiments.reporting import (
+    format_bytes,
+    format_number,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "BudgetSweepSeries",
+    "analytic_optimizer",
+    "budget_grid",
+    "format_bytes",
+    "format_number",
+    "render_series",
+    "render_table",
+    "sweep_cophy",
+    "sweep_extend",
+    "sweep_heuristic",
+]

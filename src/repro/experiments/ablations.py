@@ -1,0 +1,176 @@
+"""Ablation experiment: Algorithm 1's design choices (Remark 1).
+
+Compares the Extend variants and the swap local search on one workload
+across budgets, reporting quality (workload cost), what-if calls, and
+solve time — the numbers behind the trade-offs Remark 1 sketches:
+
+* n-best single seeding: fewer calls, equal-or-worse quality,
+* pruning unused indexes: frees budget, equal-or-better quality,
+* pair seeding: more calls, can escape single-attribute blind spots,
+* missed-opportunity branching: recovers sibling indexes (AB + AC),
+* swap local search: closes tight-budget knapsack gaps.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.core.extend import ExtendAlgorithm
+from repro.core.localsearch import swap_local_search
+from repro.core.variants import (
+    extend_with_missed_opportunities,
+    extend_with_n_best_singles,
+    extend_with_pair_seeds,
+    extend_with_pruning,
+)
+from repro.experiments.common import analytic_optimizer
+from repro.experiments.reporting import render_table
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.memory import relative_budget
+from repro.workload.generator import GeneratorConfig, generate_workload
+
+__all__ = ["AblationConfig", "AblationRow", "run", "main"]
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Parameters of the ablation sweep."""
+
+    tables: int = 4
+    attributes_per_table: int = 10
+    queries_per_table: int = 15
+    budget_shares: tuple[float, ...] = (0.1, 0.25, 0.5)
+    n_best: int = 5
+    missed: int = 3
+    seed: int = 1909
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One (variant, budget) measurement."""
+
+    variant: str
+    budget_share: float
+    cost: float
+    relative_to_plain: float
+    whatif_calls: int
+    runtime_seconds: float
+
+
+def run(config: AblationConfig | None = None) -> list[AblationRow]:
+    """Execute the ablation sweep."""
+    if config is None:
+        config = AblationConfig()
+    workload = generate_workload(
+        GeneratorConfig(
+            tables=config.tables,
+            attributes_per_table=config.attributes_per_table,
+            queries_per_table=config.queries_per_table,
+            seed=config.seed,
+        )
+    )
+    candidates = syntactically_relevant_candidates(workload)
+    rows: list[AblationRow] = []
+    for share in config.budget_shares:
+        budget = relative_budget(workload.schema, share)
+
+        plain_optimizer = analytic_optimizer(workload)
+        plain = ExtendAlgorithm(plain_optimizer).select(workload, budget)
+        rows.append(
+            AblationRow(
+                variant="plain",
+                budget_share=share,
+                cost=plain.total_cost,
+                relative_to_plain=1.0,
+                whatif_calls=plain.whatif_calls,
+                runtime_seconds=plain.runtime_seconds,
+            )
+        )
+
+        variants = [
+            (
+                "n-best",
+                lambda optimizer: extend_with_n_best_singles(
+                    optimizer, config.n_best
+                ),
+            ),
+            ("prune", extend_with_pruning),
+            ("pairs", extend_with_pair_seeds),
+            (
+                "missed",
+                lambda optimizer: extend_with_missed_opportunities(
+                    optimizer, config.missed
+                ),
+            ),
+        ]
+        for variant_name, factory in variants:
+            optimizer = analytic_optimizer(workload)
+            result = factory(optimizer).select(workload, budget)
+            rows.append(
+                AblationRow(
+                    variant=variant_name,
+                    budget_share=share,
+                    cost=result.total_cost,
+                    relative_to_plain=result.total_cost
+                    / plain.total_cost,
+                    whatif_calls=result.whatif_calls,
+                    runtime_seconds=result.runtime_seconds,
+                )
+            )
+
+        swap_optimizer = analytic_optimizer(workload)
+        swap_base = ExtendAlgorithm(swap_optimizer).select(
+            workload, budget
+        )
+        swapped = swap_local_search(
+            workload, swap_optimizer, swap_base, budget, candidates
+        )
+        rows.append(
+            AblationRow(
+                variant="plain+swap",
+                budget_share=share,
+                cost=swapped.total_cost,
+                relative_to_plain=swapped.total_cost / plain.total_cost,
+                whatif_calls=swapped.whatif_calls,
+                runtime_seconds=swapped.runtime_seconds,
+            )
+        )
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    """Render the ablation table."""
+    return render_table(
+        [
+            "variant",
+            "w",
+            "cost",
+            "vs plain",
+            "what-if calls",
+            "runtime",
+        ],
+        [
+            (
+                row.variant,
+                row.budget_share,
+                row.cost,
+                f"{row.relative_to_plain:.4f}",
+                row.whatif_calls,
+                f"{row.runtime_seconds:.3f}s",
+            )
+            for row in rows
+        ],
+        title="Ablations — Algorithm 1 variants (Remark 1) and swap pass",
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: ``python -m repro.experiments.ablations``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args(argv)
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""Shared plumbing of the experiment harnesses.
+
+Every experiment follows the same pattern: build a workload, wire a cost
+source and what-if facade, sweep budgets for a set of selection
+algorithms, and print the series/rows the corresponding paper artifact
+reports.  This module holds the pieces they share.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.core.frontier import Frontier, FrontierPoint
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.exceptions import ExperimentError, SolverTimeoutError
+from repro.indexes.index import Index
+from repro.indexes.memory import relative_budget
+from repro.workload.query import Workload
+
+__all__ = [
+    "BudgetSweepSeries",
+    "analytic_optimizer",
+    "sweep_extend",
+    "sweep_cophy",
+    "sweep_heuristic",
+    "budget_grid",
+]
+
+
+@dataclass
+class BudgetSweepSeries:
+    """One plotted series: algorithm performance across budget shares."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    runtimes: list[float] = field(default_factory=list)
+    whatif_calls: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, w: float, cost: float, runtime: float) -> None:
+        """Record one (budget share, cost) sample."""
+        self.points.append((w, cost))
+        self.runtimes.append(runtime)
+
+    @property
+    def frontier(self) -> Frontier:
+        """The series as a frontier over budget shares."""
+        return Frontier(
+            FrontierPoint(memory=w, cost=cost) for w, cost in self.points
+        )
+
+    @property
+    def total_runtime(self) -> float:
+        """Summed solve time across the sweep."""
+        return sum(self.runtimes)
+
+
+def analytic_optimizer(workload: Workload) -> WhatIfOptimizer:
+    """A what-if facade over the Appendix B cost model."""
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+
+
+def budget_grid(
+    low: float, high: float, steps: int
+) -> list[float]:
+    """Evenly spaced budget shares in ``[low, high]`` (inclusive)."""
+    if steps < 2:
+        raise ExperimentError(f"need >= 2 budget steps, got {steps}")
+    if not 0 <= low < high:
+        raise ExperimentError(
+            f"invalid budget range [{low}, {high}]"
+        )
+    width = (high - low) / (steps - 1)
+    return [low + width * step for step in range(steps)]
+
+
+def _progress(verbose: bool, message: str) -> None:
+    if verbose:
+        print(f"  [{message}]", flush=True)
+
+
+def sweep_extend(
+    workload: Workload,
+    optimizer: WhatIfOptimizer,
+    budget_shares: Sequence[float],
+    *,
+    name: str = "H6",
+    algorithm_factory: Callable[[WhatIfOptimizer], ExtendAlgorithm]
+    | None = None,
+    verbose: bool = False,
+) -> BudgetSweepSeries:
+    """Run Extend once per budget share."""
+    series = BudgetSweepSeries(name=name)
+    calls_before = optimizer.calls
+    for w in budget_shares:
+        budget = relative_budget(workload.schema, w)
+        algorithm = (
+            algorithm_factory(optimizer)
+            if algorithm_factory
+            else ExtendAlgorithm(optimizer)
+        )
+        result = algorithm.select(workload, budget)
+        series.add(w, result.total_cost, result.runtime_seconds)
+        _progress(
+            verbose,
+            f"{name} w={w:g}: cost={result.total_cost:.4g} "
+            f"in {result.runtime_seconds:.2f}s",
+        )
+    series.whatif_calls = optimizer.calls - calls_before
+    return series
+
+
+def sweep_cophy(
+    workload: Workload,
+    optimizer: WhatIfOptimizer,
+    budget_shares: Sequence[float],
+    candidates: list[Index],
+    *,
+    name: str,
+    mip_gap: float = 0.05,
+    time_limit: float | None = 60.0,
+    verbose: bool = False,
+) -> BudgetSweepSeries:
+    """Run CoPhy once per budget share over a fixed candidate set.
+
+    Budgets where the solver DNFs are recorded as ``inf`` cost with a
+    note, mirroring Table I's DNF entries.
+    """
+    series = BudgetSweepSeries(name=name)
+    algorithm = CoPhyAlgorithm(
+        optimizer, mip_gap=mip_gap, time_limit=time_limit
+    )
+    calls_before = optimizer.calls
+    for w in budget_shares:
+        budget = relative_budget(workload.schema, w)
+        started = time.perf_counter()
+        try:
+            result = algorithm.select(workload, budget, candidates)
+        except SolverTimeoutError:
+            series.add(w, float("inf"), time.perf_counter() - started)
+            series.notes.append(f"w={w:g}: DNF (time limit)")
+            _progress(verbose, f"{name} w={w:g}: DNF")
+            continue
+        series.add(w, result.total_cost, result.runtime_seconds)
+        if result.timed_out:
+            series.notes.append(
+                f"w={w:g}: time limit hit, incumbent returned"
+            )
+        _progress(
+            verbose,
+            f"{name} w={w:g}: cost={result.total_cost:.4g} "
+            f"solve={result.runtime_seconds:.1f}s"
+            + (" (timed out)" if result.timed_out else ""),
+        )
+    series.whatif_calls = optimizer.calls - calls_before
+    return series
+
+
+def sweep_heuristic(
+    workload: Workload,
+    budget_shares: Sequence[float],
+    candidates: list[Index],
+    heuristic,
+) -> BudgetSweepSeries:
+    """Run a :class:`RankingHeuristic` once per budget share."""
+    series = BudgetSweepSeries(name=heuristic.name)
+    calls_before = heuristic.optimizer.calls
+    for w in budget_shares:
+        budget = relative_budget(workload.schema, w)
+        result = heuristic.select(workload, budget, candidates)
+        series.add(w, result.total_cost, result.runtime_seconds)
+    series.whatif_calls = heuristic.optimizer.calls - calls_before
+    return series

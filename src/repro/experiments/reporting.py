@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment outputs.
+
+Experiments print the same rows/series the paper's tables and figures
+report; this module renders them as aligned text tables so results can be
+compared against the paper by eye (and diffed across runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_bytes", "format_number"]
+
+
+def format_number(value: object) -> str:
+    """Human-friendly numeric formatting for table cells."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.4g}"
+        return f"{value:,.3f}"
+    return str(value)
+
+
+def format_bytes(value: float) -> str:
+    """Render a byte count with a binary unit suffix."""
+    magnitude = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if magnitude < 1024 or unit == "TiB":
+            return f"{magnitude:,.1f} {unit}"
+        magnitude /= 1024
+    raise AssertionError("unreachable")
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    rendered_rows = [
+        [format_number(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(
+            header.ljust(widths[column])
+            for column, header in enumerate(headers)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[column])
+                for column, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, points: Sequence[tuple[float, float]]
+) -> str:
+    """Render one figure series as ``name: (x, y) ...`` lines."""
+    body = "\n".join(
+        f"  w={x:g}: {format_number(y)}" for x, y in points
+    )
+    return f"{name}:\n{body}"

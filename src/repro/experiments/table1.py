@@ -1,0 +1,191 @@
+"""Table I — runtime scaling: H6 vs CoPhy across problem sizes.
+
+Reproduces the paper's Table I: for growing workloads (``Σ_t Q_t`` from
+500 to 50 000 over ``T = 10`` tables with ``Σ_t N_t = 500`` attributes),
+compare the *solve* time of Algorithm 1 (H6) against CoPhy with candidate
+sets of different sizes (paper: 100 / 1 000 / 10 000 via H1-M), at budget
+``w = 0.2`` and 5 % MIP gap.  What-if time is excluded for CoPhy (the
+cost table is built before the timer starts); H6's solve time includes
+its interleaved cost arithmetic but its what-if calls are reported
+separately.
+
+A per-solve time limit stands in for the paper's eight-hour DNF cutoff.
+Absolute numbers differ from the paper (Python + HiGHS vs C++ + CPLEX);
+the reproduced claim is the *scaling shape*: H6 stays in seconds and
+grows roughly linearly with Q, CoPhy grows super-linearly in both Q and
+|I| and starts DNF-ing.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.exceptions import SolverTimeoutError
+from repro.experiments.common import analytic_optimizer
+from repro.experiments.reporting import render_table
+from repro.indexes.candidates import (
+    candidates_h1m,
+    syntactically_relevant_candidates,
+)
+from repro.indexes.memory import relative_budget
+from repro.workload.generator import GeneratorConfig, generate_workload
+from repro.workload.stats import WorkloadStatistics
+
+__all__ = ["Table1Config", "Table1Row", "run", "main"]
+
+PAPER_QUERY_COUNTS = (500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000)
+DEFAULT_QUERY_COUNTS = (500, 1_000, 2_000)
+DEFAULT_CANDIDATE_SIZES = (100, 1_000, 10_000)
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Parameters of the Table I reproduction."""
+
+    total_queries: tuple[int, ...] = DEFAULT_QUERY_COUNTS
+    candidate_sizes: tuple[int, ...] = DEFAULT_CANDIDATE_SIZES
+    budget_share: float = 0.2
+    mip_gap: float = 0.05
+    time_limit: float = 60.0
+    seed: int = 1909
+
+
+@dataclass
+class Table1Row:
+    """One table row: a problem size with all measured runtimes."""
+
+    total_queries: int
+    ic_max: int
+    candidate_sizes: tuple[int, ...]
+    cophy_runtimes: list[float | None] = field(default_factory=list)
+    h6_runtime: float = 0.0
+    h6_whatif_calls: int = 0
+
+    def cells(self) -> list[object]:
+        """Row cells for the rendered table."""
+        cophy = ", ".join(
+            "DNF" if runtime is None else f"{runtime:.2f}s"
+            for runtime in self.cophy_runtimes
+        )
+        return [
+            self.total_queries,
+            self.ic_max,
+            str(self.candidate_sizes),
+            f"({cophy})",
+            f"{self.h6_runtime:.3f}s",
+            self.h6_whatif_calls,
+        ]
+
+
+def run(
+    config: Table1Config | None = None, *, verbose: bool = False
+) -> list[Table1Row]:
+    """Execute the Table I sweep and return its rows.
+
+    With ``verbose=True``, each row is printed as soon as it is measured
+    (the large configurations can take minutes per row).
+    """
+    if config is None:
+        config = Table1Config()
+    rows: list[Table1Row] = []
+    for total in config.total_queries:
+        workload = generate_workload(
+            GeneratorConfig(
+                queries_per_table=max(total // 10, 1), seed=config.seed
+            )
+        )
+        statistics = WorkloadStatistics(workload)
+        exhaustive = syntactically_relevant_candidates(workload)
+        budget = relative_budget(workload.schema, config.budget_share)
+        row = Table1Row(
+            total_queries=workload.query_count,
+            ic_max=len(exhaustive),
+            candidate_sizes=config.candidate_sizes,
+        )
+
+        optimizer = analytic_optimizer(workload)
+        cophy = CoPhyAlgorithm(
+            optimizer,
+            mip_gap=config.mip_gap,
+            time_limit=config.time_limit,
+        )
+        for size in config.candidate_sizes:
+            if size >= len(exhaustive):
+                candidates = list(exhaustive)
+            else:
+                candidates = candidates_h1m(statistics, size)
+            try:
+                result = cophy.select(workload, budget, candidates)
+            except SolverTimeoutError:
+                row.cophy_runtimes.append(None)
+                continue
+            row.cophy_runtimes.append(
+                None if result.timed_out else result.runtime_seconds
+            )
+
+        h6 = ExtendAlgorithm(optimizer).select(workload, budget)
+        row.h6_runtime = h6.runtime_seconds
+        row.h6_whatif_calls = h6.whatif_calls
+        rows.append(row)
+        if verbose:
+            print(
+                f"Q={row.total_queries}: CoPhy="
+                + ", ".join(
+                    "DNF" if runtime is None else f"{runtime:.2f}s"
+                    for runtime in row.cophy_runtimes
+                )
+                + f"; H6={row.h6_runtime:.3f}s "
+                f"({row.h6_whatif_calls} what-if calls)",
+                flush=True,
+            )
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    """Render the rows in the paper's Table I layout."""
+    return render_table(
+        [
+            "# Queries",
+            "|IC_max|",
+            "# Candidates |I|",
+            "Runtime CoPhy",
+            "Runtime (H6)",
+            "H6 what-if calls",
+        ],
+        [row.cells() for row in rows],
+        title=(
+            "Table I — solving time of H6 vs CoPhy "
+            "(DNF = time limit exceeded)"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: ``python -m repro.experiments.table1``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full query-count range (up to 50 000)",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=60.0,
+        help="per-solve DNF cutoff in seconds (default 60)",
+    )
+    arguments = parser.parse_args(argv)
+    config = Table1Config(
+        total_queries=(
+            PAPER_QUERY_COUNTS if arguments.full else DEFAULT_QUERY_COUNTS
+        ),
+        time_limit=arguments.time_limit,
+    )
+    print(render(run(config, verbose=True)))
+
+
+if __name__ == "__main__":
+    main()

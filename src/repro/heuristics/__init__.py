@@ -1,0 +1,23 @@
+"""Rule-based and performance-based baseline heuristics H1–H5."""
+
+from repro.heuristics.base import RankingHeuristic
+from repro.heuristics.performance import (
+    BenefitPerSizeHeuristic,
+    PerformanceHeuristic,
+)
+from repro.heuristics.rules import (
+    FrequencyHeuristic,
+    SelectivityFrequencyHeuristic,
+    SelectivityHeuristic,
+)
+from repro.heuristics.skyline import skyline_filter
+
+__all__ = [
+    "BenefitPerSizeHeuristic",
+    "FrequencyHeuristic",
+    "PerformanceHeuristic",
+    "RankingHeuristic",
+    "SelectivityFrequencyHeuristic",
+    "SelectivityHeuristic",
+    "skyline_filter",
+]

@@ -1,0 +1,88 @@
+"""Shared machinery of the rule-based selection heuristics (Definition 1).
+
+All of H1–H5 share the same skeleton: rank a given candidate set by some
+score, then greedily pick candidates in rank order while the memory
+budget permits (candidates that no longer fit are skipped, later smaller
+ones may still be taken).  They differ only in the ranking — and in
+whether ranking needs what-if costs (H4/H5) or pure workload statistics
+(H1–H3).
+
+The final configuration is always priced with the shared what-if facade
+under the one-index-per-query semantics, so results are comparable across
+algorithms regardless of how a heuristic ranked internally.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Sequence
+
+from repro.core.steps import SelectionResult
+from repro.cost.whatif import WhatIfOptimizer
+from repro.exceptions import BudgetError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.indexes.memory import index_memory
+from repro.workload.query import Workload
+
+__all__ = ["RankingHeuristic"]
+
+
+class RankingHeuristic(abc.ABC):
+    """Base class: rank candidates, then greedily fill the budget."""
+
+    name = "ranking"
+
+    def __init__(self, optimizer: WhatIfOptimizer) -> None:
+        self._optimizer = optimizer
+
+    @property
+    def optimizer(self) -> WhatIfOptimizer:
+        """The what-if facade used for final pricing (and by H4/H5 for
+        ranking)."""
+        return self._optimizer
+
+    @abc.abstractmethod
+    def rank(
+        self, workload: Workload, candidates: Sequence[Index]
+    ) -> list[Index]:
+        """Return the candidates in selection (best-first) order.
+
+        Implementations may also *filter* (e.g. H4's skyline variant
+        removes dominated candidates).
+        """
+
+    def select(
+        self,
+        workload: Workload,
+        budget: float,
+        candidates: Sequence[Index],
+    ) -> SelectionResult:
+        """Greedy fill: take ranked candidates while the budget allows."""
+        if budget < 0:
+            raise BudgetError(f"budget must be >= 0, got {budget}")
+        started = time.perf_counter()
+        calls_before = self._optimizer.calls
+        schema = workload.schema
+
+        chosen: list[Index] = []
+        used = 0
+        for candidate in self.rank(workload, list(candidates)):
+            footprint = index_memory(schema, candidate)
+            if used + footprint > budget:
+                continue
+            chosen.append(candidate)
+            used += footprint
+
+        configuration = IndexConfiguration(chosen)
+        total_cost = self._optimizer.workload_cost(workload, configuration)
+        return SelectionResult(
+            algorithm=self.name,
+            configuration=configuration,
+            total_cost=total_cost,
+            memory=used,
+            budget=budget,
+            runtime_seconds=time.perf_counter() - started,
+            whatif_calls=self._optimizer.calls - calls_before,
+        )

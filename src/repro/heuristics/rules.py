@@ -1,0 +1,115 @@
+"""Rule-based heuristics H1–H3 (Definition 1).
+
+These heuristics rank candidates using only workload statistics — no
+what-if calls at all:
+
+* **H1** — most used attributes: candidates whose attribute combination is
+  co-accessed most often (frequency-weighted), descending.
+* **H2** — smallest (combined) selectivity ``Π s_i``, ascending.
+* **H3** — smallest ratio of combined selectivity to occurrence count,
+  ascending.
+
+For single-attribute candidates these reduce exactly to the paper's
+``g_i``, ``s_i``, and ``s_i/g_i`` rankings; the combination-based scores
+extend them to multi-attribute candidate sets the same way the candidate
+heuristics H1-M/H2-M/H3-M do.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.heuristics.base import RankingHeuristic
+from repro.indexes.index import Index
+from repro.workload.query import Workload
+
+__all__ = [
+    "FrequencyHeuristic",
+    "SelectivityHeuristic",
+    "SelectivityFrequencyHeuristic",
+]
+
+
+def _occurrences(workload: Workload, index: Index) -> float:
+    """Frequency-weighted number of queries co-accessing all attributes."""
+    attribute_set = index.attribute_set
+    return sum(
+        query.frequency
+        for query in workload
+        if query.table_name == index.table_name
+        and attribute_set <= query.attributes
+    )
+
+
+def _combined_selectivity(workload: Workload, index: Index) -> float:
+    """Product of the candidate attributes' selectivities."""
+    product = 1.0
+    for attribute_id in index.attributes:
+        product *= workload.schema.selectivity(attribute_id)
+    return product
+
+
+class FrequencyHeuristic(RankingHeuristic):
+    """H1: most frequently (co-)accessed candidates first."""
+
+    name = "H1"
+
+    def rank(
+        self, workload: Workload, candidates: Sequence[Index]
+    ) -> list[Index]:
+        return sorted(
+            candidates,
+            key=lambda index: (
+                -_occurrences(workload, index),
+                index.width,
+                index.table_name,
+                index.attributes,
+            ),
+        )
+
+
+class SelectivityHeuristic(RankingHeuristic):
+    """H2: most selective (smallest ``Π s_i``) candidates first."""
+
+    name = "H2"
+
+    def rank(
+        self, workload: Workload, candidates: Sequence[Index]
+    ) -> list[Index]:
+        return sorted(
+            candidates,
+            key=lambda index: (
+                _combined_selectivity(workload, index),
+                index.width,
+                index.table_name,
+                index.attributes,
+            ),
+        )
+
+
+class SelectivityFrequencyHeuristic(RankingHeuristic):
+    """H3: smallest selectivity-to-occurrences ratio first.
+
+    Candidates never co-accessed rank last (their ratio is infinite).
+    """
+
+    name = "H3"
+
+    def rank(
+        self, workload: Workload, candidates: Sequence[Index]
+    ) -> list[Index]:
+        def score(index: Index) -> float:
+            occurrences = _occurrences(workload, index)
+            if occurrences == 0:
+                return float("inf")
+            return _combined_selectivity(workload, index) / occurrences
+
+        return sorted(
+            candidates,
+            key=lambda index: (
+                score(index),
+                index.width,
+                index.table_name,
+                index.attributes,
+            ),
+        )

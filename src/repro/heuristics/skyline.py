@@ -1,0 +1,63 @@
+"""Skyline (dominated-candidate) pruning, as in Kimura et al.
+
+The compression-aware SQL Server advisor first filters candidates for
+being *efficient*: a candidate survives if for at least one query it is
+not dominated — no other candidate serves that query at most as
+expensively while using at most as much memory (with one inequality
+strict).  The paper evaluates H4 with and without this filter (Fig. 5,
+"(H4) with the skyline method").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cost.whatif import WhatIfOptimizer
+from repro.indexes.index import Index
+from repro.indexes.memory import index_memory
+from repro.workload.query import Workload
+
+__all__ = ["skyline_filter"]
+
+
+def skyline_filter(
+    workload: Workload,
+    candidates: Sequence[Index],
+    optimizer: WhatIfOptimizer,
+) -> list[Index]:
+    """Keep candidates that are Pareto-efficient for at least one query.
+
+    For every query, the applicable candidates form (cost, memory)
+    points; a candidate survives the filter if it lies on the skyline of
+    at least one query.  Inapplicable candidates cannot be efficient for
+    a query and candidates applicable to no query are dropped entirely.
+    """
+    schema = workload.schema
+    footprints = {
+        index: index_memory(schema, index) for index in candidates
+    }
+    survivors: set[Index] = set()
+    for query in workload:
+        applicable = [
+            index
+            for index in candidates
+            if index.is_applicable_to(query)
+        ]
+        if not applicable:
+            continue
+        points = [
+            (optimizer.index_cost(query, index), footprints[index], index)
+            for index in applicable
+        ]
+        for cost, memory, index in points:
+            if index in survivors:
+                continue
+            dominated = any(
+                (other_cost <= cost and other_memory <= memory)
+                and (other_cost < cost or other_memory < memory)
+                for other_cost, other_memory, other in points
+                if other != index
+            )
+            if not dominated:
+                survivors.add(index)
+    return [index for index in candidates if index in survivors]

@@ -1,0 +1,36 @@
+"""Index substrate: index model, memory accounting, candidate generation."""
+
+from repro.indexes.candidates import (
+    CANDIDATE_HEURISTICS,
+    all_permutation_candidates,
+    candidates_h1m,
+    candidates_h2m,
+    candidates_h3m,
+    single_attribute_candidates,
+    syntactically_relevant_candidates,
+)
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index, canonical_index
+from repro.indexes.memory import (
+    configuration_memory,
+    index_memory,
+    relative_budget,
+    single_attribute_total_memory,
+)
+
+__all__ = [
+    "CANDIDATE_HEURISTICS",
+    "Index",
+    "IndexConfiguration",
+    "all_permutation_candidates",
+    "candidates_h1m",
+    "candidates_h2m",
+    "candidates_h3m",
+    "canonical_index",
+    "configuration_memory",
+    "index_memory",
+    "relative_budget",
+    "single_attribute_candidates",
+    "single_attribute_total_memory",
+    "syntactically_relevant_candidates",
+]

@@ -1,0 +1,159 @@
+"""Index configurations — the selections ``I*`` of the paper.
+
+A configuration is an immutable set of :class:`~repro.indexes.index.Index`
+objects together with convenience accessors for memory accounting and
+per-query applicability.  Algorithms produce configurations; cost models
+and the execution engine consume them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.indexes.index import Index
+from repro.indexes.memory import configuration_memory
+from repro.workload.query import Query
+from repro.workload.schema import Schema
+
+__all__ = ["IndexConfiguration"]
+
+
+class IndexConfiguration:
+    """An immutable set of selected indexes ``I*``.
+
+    Duplicate indexes are rejected rather than silently collapsed so that
+    algorithm bugs (selecting the same index twice) surface early.
+    """
+
+    def __init__(self, indexes: Iterable[Index] = ()) -> None:
+        index_list = list(indexes)
+        self._indexes: frozenset[Index] = frozenset(index_list)
+        if len(self._indexes) != len(index_list):
+            raise ConfigurationError(
+                "duplicate indexes in configuration"
+            )
+
+    # ------------------------------------------------------------------
+    # Set-like behaviour
+    # ------------------------------------------------------------------
+
+    @property
+    def indexes(self) -> frozenset[Index]:
+        """The selected indexes."""
+        return self._indexes
+
+    def __iter__(self) -> Iterator[Index]:
+        return iter(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, index: Index) -> bool:
+        return index in self._indexes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndexConfiguration):
+            return NotImplemented
+        return self._indexes == other._indexes
+
+    def __hash__(self) -> int:
+        return hash(self._indexes)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no index is selected."""
+        return not self._indexes
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def with_index(self, index: Index) -> "IndexConfiguration":
+        """A new configuration with ``index`` added."""
+        if index in self._indexes:
+            raise ConfigurationError(f"{index!r} already selected")
+        return IndexConfiguration(self._indexes | {index})
+
+    def without_index(self, index: Index) -> "IndexConfiguration":
+        """A new configuration with ``index`` removed."""
+        if index not in self._indexes:
+            raise ConfigurationError(f"{index!r} not in configuration")
+        return IndexConfiguration(self._indexes - {index})
+
+    def with_replaced(
+        self, old: Index, new: Index
+    ) -> "IndexConfiguration":
+        """A new configuration with ``old`` morphed into ``new``.
+
+        Used by Algorithm 1 Step (3b): appending an attribute to an
+        existing index replaces it.
+        """
+        if old not in self._indexes:
+            raise ConfigurationError(f"{old!r} not in configuration")
+        if new in self._indexes:
+            raise ConfigurationError(f"{new!r} already selected")
+        return IndexConfiguration((self._indexes - {old}) | {new})
+
+    # ------------------------------------------------------------------
+    # Queries and memory
+    # ------------------------------------------------------------------
+
+    def applicable_to(self, query: Query) -> tuple[Index, ...]:
+        """The selected indexes applicable to ``query``.
+
+        Sorted deterministically (by table, then attribute order) so
+        downstream tie-breaking is stable.
+        """
+        return tuple(
+            sorted(
+                (
+                    index
+                    for index in self._indexes
+                    if index.is_applicable_to(query)
+                ),
+                key=lambda index: (index.table_name, index.attributes),
+            )
+        )
+
+    def memory(self, schema: Schema) -> int:
+        """Total memory ``P(I*)`` in bytes (Eq. 2)."""
+        return configuration_memory(schema, self._indexes)
+
+    def indexes_on_table(self, table_name: str) -> tuple[Index, ...]:
+        """All selected indexes on the named table (deterministic order)."""
+        return tuple(
+            sorted(
+                (
+                    index
+                    for index in self._indexes
+                    if index.table_name == table_name
+                ),
+                key=lambda index: index.attributes,
+            )
+        )
+
+    def created_against(
+        self, baseline: "IndexConfiguration"
+    ) -> frozenset[Index]:
+        """Indexes present here but not in ``baseline`` (``I* \\ Ī*``)."""
+        return self._indexes - baseline._indexes
+
+    def dropped_against(
+        self, baseline: "IndexConfiguration"
+    ) -> frozenset[Index]:
+        """Indexes present in ``baseline`` but not here (``Ī* \\ I*``)."""
+        return baseline._indexes - self._indexes
+
+    def label(self, schema: Schema | None = None) -> str:
+        """Human-readable multi-index label."""
+        return (
+            "{"
+            + ", ".join(
+                sorted(index.label(schema) for index in self._indexes)
+            )
+            + "}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexConfiguration({len(self._indexes)} indexes)"

@@ -1,0 +1,194 @@
+"""JSON persistence for schemas, workloads, and index selections.
+
+Experiments and advisors need to hand artifacts across process
+boundaries: a workload captured on one machine, a recommended
+configuration applied on another, a selection result archived next to a
+benchmark run.  This module serializes the core value objects to plain
+JSON (no pickle — artifacts stay portable, diffable, and safe to load).
+
+Round-trip guarantees are exact: ``load_x(dump_x(value)) == value`` for
+every supported type (selection results round-trip everything except the
+construction-step trace, which is derived data).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.steps import SelectionResult
+from repro.exceptions import ReproError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.workload.query import Query, QueryKind, Workload
+from repro.workload.schema import Schema
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "workload_to_dict",
+    "workload_from_dict",
+    "configuration_to_dict",
+    "configuration_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Serialize a schema (table order and attribute ids preserved)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "tables": [
+            {
+                "name": table.name,
+                "row_count": table.row_count,
+                "columns": [
+                    {
+                        "name": attribute.name,
+                        "distinct_values": attribute.distinct_values,
+                        "value_size": attribute.value_size,
+                    }
+                    for attribute in table.attributes
+                ],
+            }
+            for table in schema.tables
+        ],
+    }
+
+
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    """Deserialize a schema."""
+    _check_version(data)
+    return Schema.build(
+        {
+            table["name"]: (
+                table["row_count"],
+                [
+                    (
+                        column["name"],
+                        column["distinct_values"],
+                        column["value_size"],
+                    )
+                    for column in table["columns"]
+                ],
+            )
+            for table in data["tables"]
+        }
+    )
+
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialize a workload together with its schema."""
+    return {
+        "version": _FORMAT_VERSION,
+        "schema": schema_to_dict(workload.schema),
+        "queries": [
+            {
+                "query_id": query.query_id,
+                "table": query.table_name,
+                "attributes": sorted(query.attributes),
+                "frequency": query.frequency,
+                "kind": query.kind.value,
+            }
+            for query in workload
+        ],
+    }
+
+
+def workload_from_dict(data: dict[str, Any]) -> Workload:
+    """Deserialize a workload."""
+    _check_version(data)
+    schema = schema_from_dict(data["schema"])
+    queries = [
+        Query(
+            query_id=entry["query_id"],
+            table_name=entry["table"],
+            attributes=frozenset(entry["attributes"]),
+            frequency=entry["frequency"],
+            kind=QueryKind(entry["kind"]),
+        )
+        for entry in data["queries"]
+    ]
+    return Workload(schema, queries)
+
+
+def configuration_to_dict(
+    configuration: IndexConfiguration,
+) -> dict[str, Any]:
+    """Serialize an index configuration (deterministic order)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "indexes": [
+            {"table": index.table_name, "attributes": list(index.attributes)}
+            for index in sorted(
+                configuration,
+                key=lambda index: (index.table_name, index.attributes),
+            )
+        ],
+    }
+
+
+def configuration_from_dict(data: dict[str, Any]) -> IndexConfiguration:
+    """Deserialize an index configuration."""
+    _check_version(data)
+    return IndexConfiguration(
+        Index(entry["table"], tuple(entry["attributes"]))
+        for entry in data["indexes"]
+    )
+
+
+def result_to_dict(result: SelectionResult) -> dict[str, Any]:
+    """Serialize a selection result (without the step trace)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "configuration": configuration_to_dict(result.configuration),
+        "total_cost": result.total_cost,
+        "memory": result.memory,
+        "budget": result.budget,
+        "runtime_seconds": result.runtime_seconds,
+        "whatif_calls": result.whatif_calls,
+        "reconfiguration_cost": result.reconfiguration_cost,
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> SelectionResult:
+    """Deserialize a selection result."""
+    _check_version(data)
+    return SelectionResult(
+        algorithm=data["algorithm"],
+        configuration=configuration_from_dict(data["configuration"]),
+        total_cost=data["total_cost"],
+        memory=data["memory"],
+        budget=data["budget"],
+        runtime_seconds=data["runtime_seconds"],
+        whatif_calls=data["whatif_calls"],
+        reconfiguration_cost=data["reconfiguration_cost"],
+    )
+
+
+def save_json(path: str, data: dict[str, Any]) -> None:
+    """Write a serialized artifact to disk (pretty-printed)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> dict[str, Any]:
+    """Read a serialized artifact from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _check_version(data: dict[str, Any]) -> None:
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported artifact format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )

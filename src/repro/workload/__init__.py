@@ -1,0 +1,49 @@
+"""Workload substrate: schemas, queries, statistics, and generators.
+
+This package models the inputs of the index selection problem (paper
+Section II-A): database schemas with per-attribute statistics, conjunctive
+query templates with frequencies, and the three workload sources used by
+the paper's evaluation — the reproducible synthetic generator of
+Appendix C, the TPC-C templates of Fig. 1, and a synthetic stand-in for the
+Fortune-500 ERP trace of Section IV-A.
+"""
+
+from repro.workload.compression import (
+    frequency_share,
+    merge_duplicate_templates,
+    top_k_expensive,
+)
+from repro.workload.drift import DriftConfig, drifting_workloads
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    generate_enterprise_workload,
+)
+from repro.workload.generator import GeneratorConfig, generate_workload
+from repro.workload.query import Query, QueryKind, Workload
+from repro.workload.schema import Attribute, Schema, Table
+from repro.workload.sql import parse_template, workload_from_sql
+from repro.workload.stats import WorkloadStatistics
+from repro.workload.tpcc import tpcc_schema, tpcc_workload
+
+__all__ = [
+    "Attribute",
+    "DriftConfig",
+    "EnterpriseConfig",
+    "GeneratorConfig",
+    "Query",
+    "QueryKind",
+    "Schema",
+    "Table",
+    "Workload",
+    "WorkloadStatistics",
+    "drifting_workloads",
+    "frequency_share",
+    "generate_enterprise_workload",
+    "generate_workload",
+    "merge_duplicate_templates",
+    "parse_template",
+    "top_k_expensive",
+    "tpcc_schema",
+    "tpcc_workload",
+    "workload_from_sql",
+]

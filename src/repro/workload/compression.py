@@ -1,0 +1,116 @@
+"""Workload compression (paper Section VI, related work).
+
+Large workloads can be preprocessed to cut selection time.  The paper
+discusses two approaches: Chaudhuri et al.'s similarity-based compression
+(found "too slow" by the DB2 team because it needs optimizer calls) and
+DB2's simple alternative of keeping the top-k most expensive queries.
+This module implements the optimizer-free techniques:
+
+* :func:`merge_duplicate_templates` — queries with identical table,
+  attribute set, and kind are merged, summing frequencies (lossless
+  under the per-template cost models used here),
+* :func:`top_k_expensive` — keep the k most expensive templates by
+  estimated no-index cost × frequency (the DB2 approach; needs one
+  sequential-cost estimate per template, no per-index calls),
+* :func:`frequency_share` — keep the fewest templates that cover a
+  target share of total estimated cost.
+
+Compression trades selection time for fidelity; the benchmarks measure
+both sides of that trade.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import WorkloadError
+from repro.workload.query import Query, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cost.whatif import WhatIfOptimizer
+
+__all__ = [
+    "merge_duplicate_templates",
+    "top_k_expensive",
+    "frequency_share",
+]
+
+
+def merge_duplicate_templates(workload: Workload) -> Workload:
+    """Merge templates with identical (table, attributes, kind).
+
+    Lossless for every cost model in this repository: the workload cost
+    is linear in frequencies with per-template coefficients.  Query ids
+    are renumbered sequentially.
+    """
+    merged: dict[tuple, float] = {}
+    for query in workload:
+        key = (query.table_name, query.attributes, query.kind)
+        merged[key] = merged.get(key, 0.0) + query.frequency
+    queries = [
+        Query(
+            query_id=position,
+            table_name=table_name,
+            attributes=attributes,
+            frequency=frequency,
+            kind=kind,
+        )
+        for position, ((table_name, attributes, kind), frequency) in (
+            enumerate(merged.items())
+        )
+    ]
+    return Workload(workload.schema, queries)
+
+
+def _estimated_weights(
+    workload: Workload, optimizer: WhatIfOptimizer
+) -> list[tuple[float, Query]]:
+    """(estimated total cost, query) pairs, most expensive first."""
+    weighted = [
+        (query.frequency * optimizer.sequential_cost(query), query)
+        for query in workload
+    ]
+    weighted.sort(key=lambda entry: (-entry[0], entry[1].query_id))
+    return weighted
+
+
+def top_k_expensive(
+    workload: Workload, optimizer: WhatIfOptimizer, k: int
+) -> Workload:
+    """Keep the ``k`` most expensive templates (the DB2 approach).
+
+    Expense is the frequency-weighted *no-index* cost — one sequential
+    estimate per template, so compression itself stays cheap.
+    """
+    if k < 1:
+        raise WorkloadError(f"k must be >= 1, got {k}")
+    kept = [
+        query
+        for _, query in _estimated_weights(workload, optimizer)[:k]
+    ]
+    kept.sort(key=lambda query: query.query_id)
+    return Workload(workload.schema, kept)
+
+
+def frequency_share(
+    workload: Workload, optimizer: WhatIfOptimizer, share: float
+) -> Workload:
+    """Keep the fewest templates covering ``share`` of estimated cost.
+
+    ``share`` is within (0, 1]; 1.0 keeps everything.
+    """
+    if not 0 < share <= 1:
+        raise WorkloadError(
+            f"share must be within (0, 1], got {share}"
+        )
+    weighted = _estimated_weights(workload, optimizer)
+    total = sum(weight for weight, _ in weighted)
+    kept: list[Query] = []
+    covered = 0.0
+    for weight, query in weighted:
+        kept.append(query)
+        covered += weight
+        if covered >= share * total:
+            break
+    kept.sort(key=lambda query: query.query_id)
+    return Workload(workload.schema, kept)

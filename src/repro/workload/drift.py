@@ -1,0 +1,117 @@
+"""Workload drift: sequences of gradually changing workloads.
+
+Section VII of the paper names stochastic, time-changing workloads as the
+key future-work scenario: "to react to changing workloads, the model has
+to adapt the index selection successively", with reconfiguration costs
+deciding whether reorganizing pays off.  This module generates such
+scenarios deterministically:
+
+* **frequency drift** — query frequencies random-walk multiplicatively
+  (hot templates cool down, cold ones heat up),
+* **template churn** — a fraction of templates is replaced by fresh
+  templates on the same table each epoch (new application features,
+  changed reports).
+
+The schema is held fixed; only the workload moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.workload.query import Query, Workload
+
+__all__ = ["DriftConfig", "drifting_workloads"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Parameters of the drift process.
+
+    Attributes
+    ----------
+    epochs:
+        Number of workload snapshots to produce (including the base
+        workload as epoch 0).
+    frequency_volatility:
+        Standard deviation of the per-epoch log-normal factor applied to
+        each query frequency (0 = frequencies never change).
+    churn_rate:
+        Fraction of query templates replaced per epoch (0 = the template
+        set never changes).
+    seed:
+        Seed for the drift process.
+    """
+
+    epochs: int = 10
+    frequency_volatility: float = 0.3
+    churn_rate: float = 0.1
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise WorkloadError(f"need >= 1 epoch, got {self.epochs}")
+        if self.frequency_volatility < 0:
+            raise WorkloadError(
+                "frequency_volatility must be >= 0, got "
+                f"{self.frequency_volatility}"
+            )
+        if not 0 <= self.churn_rate <= 1:
+            raise WorkloadError(
+                f"churn_rate must be within [0, 1], got {self.churn_rate}"
+            )
+
+
+def _churned_query(
+    rng: np.random.Generator, workload: Workload, old: Query
+) -> Query:
+    """A fresh template on the same table as ``old``."""
+    table = workload.schema.table(old.table_name)
+    width = int(rng.integers(1, min(len(table.attributes), 4) + 1))
+    positions = rng.choice(
+        len(table.attributes), size=width, replace=False
+    )
+    attributes = frozenset(
+        table.attributes[int(position)].id for position in positions
+    )
+    frequency = float(rng.integers(1, 10_000))
+    return Query(old.query_id, old.table_name, attributes, frequency)
+
+
+def drifting_workloads(
+    base: Workload, config: DriftConfig | None = None
+) -> list[Workload]:
+    """Generate an epoch sequence starting from ``base``.
+
+    Epoch 0 is ``base`` itself; each following epoch applies frequency
+    drift and template churn to its predecessor.  Deterministic for a
+    fixed config.
+    """
+    if config is None:
+        config = DriftConfig()
+    rng = np.random.default_rng(config.seed)
+    snapshots = [base]
+    current = list(base.queries)
+    for _ in range(1, config.epochs):
+        drifted: list[Query] = []
+        for query in current:
+            if rng.uniform() < config.churn_rate:
+                drifted.append(_churned_query(rng, base, query))
+                continue
+            factor = float(
+                np.exp(rng.normal(0.0, config.frequency_volatility))
+            )
+            drifted.append(
+                Query(
+                    query.query_id,
+                    query.table_name,
+                    query.attributes,
+                    max(query.frequency * factor, 1.0),
+                )
+            )
+        current = drifted
+        snapshots.append(Workload(base.schema, drifted))
+    return snapshots

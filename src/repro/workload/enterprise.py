@@ -1,0 +1,217 @@
+"""Synthetic enterprise (ERP) workload — substitute for Section IV-A.
+
+The paper evaluates against the proprietary workload of a productive
+Fortune Global 500 ERP system: the largest 500 tables with 4 204 relevant
+attributes, between ~350 000 and ~1.5 billion rows per table, 2 271 query
+templates with more than 50 million executions, "mostly transactional with
+a majority of point-access queries but also ... few analytical queries".
+
+That trace is not publicly available, so this module generates a seeded
+synthetic workload that reproduces the published aggregate statistics:
+
+* exact table / attribute / template counts (configurable),
+* log-uniform table sizes spanning the published row-count range,
+* long-tail attributes-per-table distribution (ERP tables are wide but
+  most relevant attributes concentrate on a few hot tables),
+* Zipf-skewed table and attribute popularity — some attributes are
+  co-accessed very often, which is exactly the index-interaction structure
+  Section IV-A highlights,
+* a point-access-dominated template mix (~80 % of templates touch 1–3
+  attributes) with a small analytical tail (up to 12 attributes),
+* heavy-tailed template frequencies scaled to the published ~50 million
+  total executions.
+
+Because Fig. 4 consumes the workload only through the analytic cost model,
+matching these distributional characteristics exercises the same code
+paths as the original trace (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.workload.query import Query, Workload
+from repro.workload.schema import Schema
+
+__all__ = ["EnterpriseConfig", "generate_enterprise_workload"]
+
+
+@dataclass(frozen=True)
+class EnterpriseConfig:
+    """Parameters of the synthetic ERP workload.
+
+    Defaults reproduce the aggregate numbers published in Section IV-A.
+    ``scale`` shrinks tables / attributes / templates proportionally for
+    tests and CI benchmarks (1.0 = paper scale).
+    """
+
+    tables: int = 500
+    total_attributes: int = 4_204
+    query_templates: int = 2_271
+    total_executions: float = 50_000_000.0
+    min_rows: int = 350_000
+    max_rows: int = 1_500_000_000
+    point_access_share: float = 0.80
+    medium_share: float = 0.15
+    table_popularity_skew: float = 1.2
+    attribute_popularity_skew: float = 1.1
+    seed: int = 500  # Fortune Global 500
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.scale > 1:
+            raise WorkloadError(f"scale must be in (0, 1], got {self.scale}")
+        if self.tables < 1 or self.total_attributes < self.tables:
+            raise WorkloadError(
+                "need at least one attribute per table: "
+                f"tables={self.tables}, attributes={self.total_attributes}"
+            )
+        if self.query_templates < 1:
+            raise WorkloadError(
+                f"need >= 1 query template, got {self.query_templates}"
+            )
+        if self.min_rows < 1 or self.max_rows < self.min_rows:
+            raise WorkloadError(
+                f"invalid row range [{self.min_rows}, {self.max_rows}]"
+            )
+        if not 0 <= self.point_access_share <= 1:
+            raise WorkloadError("point_access_share must be within [0, 1]")
+        if not 0 <= self.medium_share <= 1 - self.point_access_share:
+            raise WorkloadError(
+                "medium_share must leave room for the analytical tail"
+            )
+
+    @property
+    def scaled_tables(self) -> int:
+        """Number of tables after applying ``scale``."""
+        return max(int(round(self.tables * self.scale)), 1)
+
+    @property
+    def scaled_attributes(self) -> int:
+        """Total attributes after applying ``scale``."""
+        return max(
+            int(round(self.total_attributes * self.scale)),
+            self.scaled_tables,
+        )
+
+    @property
+    def scaled_templates(self) -> int:
+        """Query templates after applying ``scale``."""
+        return max(int(round(self.query_templates * self.scale)), 1)
+
+
+def _attributes_per_table(
+    rng: np.random.Generator, tables: int, total_attributes: int
+) -> list[int]:
+    """Long-tail split of ``total_attributes`` over ``tables`` tables.
+
+    Draws lognormal weights (a few wide "document header/item" style
+    tables, many narrow ones), then distributes the exact total by largest
+    remainder so the published attribute count is matched precisely.
+    """
+    weights = rng.lognormal(mean=0.0, sigma=0.9, size=tables)
+    weights /= weights.sum()
+    raw = weights * (total_attributes - tables)
+    base = np.floor(raw).astype(int)
+    remainder = total_attributes - tables - int(base.sum())
+    order = np.argsort(-(raw - base))
+    for position in range(remainder):
+        base[order[position % tables]] += 1
+    return [int(count) + 1 for count in base]  # >= 1 attribute each
+
+
+def _zipf_weights(count: int, skew: float) -> np.ndarray:
+    """Normalized Zipf weights ``rank^-skew`` for ``count`` items."""
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def generate_enterprise_workload(
+    config: EnterpriseConfig | None = None,
+) -> Workload:
+    """Generate the synthetic ERP schema and workload.
+
+    Deterministic for a fixed :class:`EnterpriseConfig`.  At the default
+    (paper) scale the result has 500 tables, 4 204 attributes, and 2 271
+    query templates whose frequencies sum to roughly 50 million.
+    """
+    if config is None:
+        config = EnterpriseConfig()
+    rng = np.random.default_rng(config.seed)
+    tables = config.scaled_tables
+    total_attributes = config.scaled_attributes
+    templates = config.scaled_templates
+
+    attribute_counts = _attributes_per_table(rng, tables, total_attributes)
+
+    # Log-uniform row counts spanning the published range; ERP "largest 500
+    # tables by memory" skews big, so sort descending to make table 1 hot
+    # *and* large, as in the original system.
+    log_low = np.log10(config.min_rows)
+    log_high = np.log10(config.max_rows)
+    rows = np.sort(
+        10 ** rng.uniform(log_low, log_high, size=tables)
+    )[::-1].astype(np.int64)
+
+    table_specs: dict[str, tuple[int, list[tuple[str, int, int]]]] = {}
+    for table_index in range(tables):
+        row_count = int(rows[table_index])
+        columns: list[tuple[str, int, int]] = []
+        for position in range(attribute_counts[table_index]):
+            # Leading attributes (client, document number, ...) have high
+            # cardinality; the tail holds low-cardinality flags and types.
+            exponent = rng.uniform(0.05, 1.0) * (
+                1.0 - 0.6 * position / max(attribute_counts[table_index], 1)
+            )
+            distinct = int(min(max(row_count**exponent, 1.0), row_count))
+            value_size = int(rng.choice([2, 4, 4, 8, 8, 16, 32]))
+            columns.append((f"A{position:03d}", distinct, value_size))
+        table_specs[f"ERP{table_index:03d}"] = (row_count, columns)
+    schema = Schema.build(table_specs)
+
+    table_weights = _zipf_weights(tables, config.table_popularity_skew)
+    template_tables = rng.choice(tables, size=templates, p=table_weights)
+
+    # Heavy-tailed frequencies: a few templates dominate executions.
+    raw_frequencies = rng.pareto(1.3, size=templates) + 1.0
+    frequencies = raw_frequencies / raw_frequencies.sum()
+    frequencies = frequencies * config.total_executions * config.scale
+
+    queries: list[Query] = []
+    for template_index in range(templates):
+        table_index = int(template_tables[template_index])
+        table_name = f"ERP{table_index:03d}"
+        attributes = schema.attributes_of_table(table_name)
+        width = len(attributes)
+
+        shape_draw = rng.uniform()
+        if shape_draw < config.point_access_share:
+            accessed = rng.integers(1, min(3, width) + 1)
+        elif shape_draw < config.point_access_share + config.medium_share:
+            accessed = rng.integers(min(3, width), min(6, width) + 1)
+        else:
+            accessed = rng.integers(min(6, width), min(12, width) + 1)
+        accessed = int(min(max(accessed, 1), width))
+
+        attribute_weights = _zipf_weights(
+            width, config.attribute_popularity_skew
+        )
+        chosen_positions = rng.choice(
+            width, size=accessed, replace=False, p=attribute_weights
+        )
+        attribute_ids = frozenset(
+            attributes[int(position)].id for position in chosen_positions
+        )
+        queries.append(
+            Query(
+                query_id=template_index,
+                table_name=table_name,
+                attributes=attribute_ids,
+                frequency=float(max(frequencies[template_index], 1.0)),
+            )
+        )
+    return Workload(schema, queries)

@@ -1,0 +1,150 @@
+"""Workload statistics used throughout the paper.
+
+Collects the aggregate quantities of Appendix A's notation table:
+
+* ``g_i`` — number of (frequency-weighted) occurrences of attribute ``i``,
+* ``q̄``  — average number of attributes accessed per query,
+* co-access counts of attribute *combinations*, which drive the candidate
+  heuristics H1-M/H2-M/H3-M of Example 1 (iv).
+
+All statistics are computed once and cached; workloads are immutable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Iterable, Mapping
+
+from repro.workload.query import Workload
+
+__all__ = ["WorkloadStatistics"]
+
+
+class WorkloadStatistics:
+    """Aggregate statistics of a workload.
+
+    Parameters
+    ----------
+    workload:
+        The workload to summarize.
+    max_combination_width:
+        Largest attribute-combination size for which co-access frequencies
+        are tabulated (the paper's candidate heuristics use ``m = 1..4``).
+    """
+
+    def __init__(
+        self, workload: Workload, max_combination_width: int = 4
+    ) -> None:
+        if max_combination_width < 1:
+            raise ValueError(
+                "max_combination_width must be >= 1, got "
+                f"{max_combination_width}"
+            )
+        self._workload = workload
+        self._max_width = max_combination_width
+        self._occurrences: Counter[int] = Counter()
+        self._combination_occurrences: dict[int, Counter[frozenset[int]]] = {
+            width: Counter() for width in range(1, max_combination_width + 1)
+        }
+        for query in workload:
+            for attribute_id in query.attributes:
+                self._occurrences[attribute_id] += query.frequency
+            sorted_attributes = sorted(query.attributes)
+            for width in range(
+                1, min(max_combination_width, len(sorted_attributes)) + 1
+            ):
+                for combo in combinations(sorted_attributes, width):
+                    self._combination_occurrences[width][
+                        frozenset(combo)
+                    ] += query.frequency
+
+    # ------------------------------------------------------------------
+    # Scalar aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def workload(self) -> Workload:
+        """The workload these statistics describe."""
+        return self._workload
+
+    @property
+    def max_combination_width(self) -> int:
+        """Largest tabulated combination width."""
+        return self._max_width
+
+    @property
+    def average_attributes_per_query(self) -> float:
+        """``q̄``: mean number of attributes accessed per query template."""
+        total = sum(
+            query.attribute_count for query in self._workload
+        )
+        return total / self._workload.query_count
+
+    @property
+    def accessed_attribute_ids(self) -> frozenset[int]:
+        """All attributes accessed by at least one query."""
+        return frozenset(self._occurrences)
+
+    # ------------------------------------------------------------------
+    # Per-attribute quantities
+    # ------------------------------------------------------------------
+
+    def occurrences(self, attribute_id: int) -> float:
+        """``g_i``: frequency-weighted occurrence count of attribute ``i``.
+
+        Attributes never accessed have ``g_i = 0``.
+        """
+        return float(self._occurrences.get(attribute_id, 0))
+
+    def occurrence_ranking(self) -> list[int]:
+        """Attribute ids sorted by descending ``g_i`` (ties by id)."""
+        return sorted(
+            self._occurrences,
+            key=lambda attribute_id: (
+                -self._occurrences[attribute_id],
+                attribute_id,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Attribute combinations (for H1-M/H2-M/H3-M candidate heuristics)
+    # ------------------------------------------------------------------
+
+    def combination_occurrences(
+        self, width: int
+    ) -> Mapping[frozenset[int], float]:
+        """Frequency-weighted co-access counts of ``width``-combinations.
+
+        A combination counts for a query if all of its attributes appear in
+        the query's attribute set (``{i_1,...,i_m} ⊆ q_j``), weighted by
+        ``b_j`` — exactly the ranking quantity of heuristic H1-M.
+        """
+        if width < 1 or width > self._max_width:
+            raise ValueError(
+                f"width must be in [1, {self._max_width}], got {width}"
+            )
+        return dict(self._combination_occurrences[width])
+
+    def accessed_combinations(
+        self, width: int
+    ) -> frozenset[frozenset[int]]:
+        """All attribute combinations of ``width`` co-accessed somewhere."""
+        if width < 1 or width > self._max_width:
+            raise ValueError(
+                f"width must be in [1, {self._max_width}], got {width}"
+            )
+        return frozenset(self._combination_occurrences[width])
+
+    def combined_selectivity(self, attribute_ids: Iterable[int]) -> float:
+        """Product of selectivities ``Π s_i`` of the given attributes."""
+        product = 1.0
+        for attribute_id in attribute_ids:
+            product *= self._workload.schema.selectivity(attribute_id)
+        return product
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkloadStatistics(queries={self._workload.query_count}, "
+            f"q_bar={self.average_attributes_per_query:.2f})"
+        )

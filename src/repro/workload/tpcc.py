@@ -1,0 +1,173 @@
+"""TPC-C workload used by the paper's worked example (Fig. 1).
+
+The paper aggregates the distinct conjunctive selections of all TPC-C
+transactions into roughly ten query templates over the TPC-C tables and
+uses them to illustrate Algorithm 1's construction steps.  This module
+reconstructs that workload from the TPC-C specification: the schema with
+its standard cardinalities (parameterized by the warehouse count) and the
+conjunctive attribute-access templates of the five transactions, weighted
+by the standard transaction mix (45 % New-Order, 43 % Payment, 4 % each
+Order-Status, Delivery, Stock-Level).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WorkloadError
+from repro.workload.query import Workload
+from repro.workload.schema import Schema
+
+__all__ = ["tpcc_schema", "tpcc_workload"]
+
+_ITEMS = 100_000
+_CUSTOMERS_PER_DISTRICT = 3_000
+_DISTRICTS_PER_WAREHOUSE = 10
+
+
+def tpcc_schema(warehouses: int = 10) -> Schema:
+    """The TPC-C schema restricted to the attributes the workload touches.
+
+    Cardinalities follow the TPC-C specification for ``warehouses``
+    warehouses.  Value sizes: 4 bytes for numeric ids and quantities,
+    16 bytes for the ``C_LAST`` string column.
+    """
+    if warehouses < 1:
+        raise WorkloadError(f"need >= 1 warehouse, got {warehouses}")
+    w = warehouses
+    districts = _DISTRICTS_PER_WAREHOUSE * w
+    customers = _CUSTOMERS_PER_DISTRICT * districts
+    orders = customers  # one initial order per customer
+    new_orders = max(orders * 9 // 30, 1)
+    order_lines = orders * 10  # ~10 lines per order
+    stock = _ITEMS * w
+    return Schema.build(
+        {
+            "WAREHOUSE": (w, [("W_ID", w, 4)]),
+            "DISTRICT": (
+                districts,
+                [("D_W_ID", w, 4), ("D_ID", _DISTRICTS_PER_WAREHOUSE, 4)],
+            ),
+            "CUSTOMER": (
+                customers,
+                [
+                    ("C_W_ID", w, 4),
+                    ("C_D_ID", _DISTRICTS_PER_WAREHOUSE, 4),
+                    ("C_ID", _CUSTOMERS_PER_DISTRICT, 4),
+                    ("C_LAST", 1_000, 16),
+                ],
+            ),
+            "ITEM": (_ITEMS, [("I_ID", _ITEMS, 4)]),
+            "STOCK": (
+                stock,
+                [
+                    ("S_W_ID", w, 4),
+                    ("S_I_ID", _ITEMS, 4),
+                    ("S_QUANTITY", 91, 4),
+                ],
+            ),
+            "ORDERS": (
+                orders,
+                [
+                    ("O_W_ID", w, 4),
+                    ("O_D_ID", _DISTRICTS_PER_WAREHOUSE, 4),
+                    ("O_ID", _CUSTOMERS_PER_DISTRICT, 4),
+                    ("O_C_ID", _CUSTOMERS_PER_DISTRICT, 4),
+                ],
+            ),
+            "NEW_ORDER": (
+                new_orders,
+                [
+                    ("NO_W_ID", w, 4),
+                    ("NO_D_ID", _DISTRICTS_PER_WAREHOUSE, 4),
+                    ("NO_O_ID", min(900, new_orders), 4),
+                ],
+            ),
+            "ORDER_LINE": (
+                order_lines,
+                [
+                    ("OL_W_ID", w, 4),
+                    ("OL_D_ID", _DISTRICTS_PER_WAREHOUSE, 4),
+                    ("OL_O_ID", _CUSTOMERS_PER_DISTRICT, 4),
+                ],
+            ),
+        }
+    )
+
+
+def tpcc_workload(
+    warehouses: int = 10, transactions: int = 100_000
+) -> Workload:
+    """The aggregated conjunctive-selection templates of TPC-C (Fig. 1).
+
+    Frequencies are the expected number of template evaluations when
+    executing ``transactions`` transactions under the standard mix,
+    accounting for per-transaction loop counts (e.g. New-Order probes
+    ``ITEM`` and ``STOCK`` about ten times per transaction, Stock-Level
+    examines the last 20 orders' lines).
+    """
+    if transactions < 1:
+        raise WorkloadError(
+            f"need >= 1 transaction, got {transactions}"
+        )
+    schema = tpcc_schema(warehouses)
+
+    def attrs(table: str, *names: str) -> tuple[str, list[int], float]:
+        table_object = schema.table(table)
+        return (
+            table,
+            [table_object.attribute_by_name(name).id for name in names],
+            0.0,  # frequency filled below
+        )
+
+    new_order = 0.45 * transactions
+    payment = 0.43 * transactions
+    order_status = 0.04 * transactions
+    delivery = 0.04 * transactions
+    stock_level = 0.04 * transactions
+
+    templates: list[tuple[tuple[str, list[int], float], float]] = [
+        # q1: Stock-Level low-stock probe.
+        (
+            attrs("STOCK", "S_W_ID", "S_I_ID", "S_QUANTITY"),
+            stock_level * 20,
+        ),
+        # q2: Delivery reads the order by (W, D, O_ID).
+        (attrs("ORDERS", "O_W_ID", "O_D_ID", "O_ID"), delivery * 10),
+        # q3: Payment / New-Order customer lookup by id.
+        (
+            attrs("CUSTOMER", "C_W_ID", "C_D_ID", "C_ID"),
+            new_order + 0.6 * payment + 0.6 * order_status + delivery * 10,
+        ),
+        # q4: Delivery pops the oldest new order per district.
+        (
+            attrs("NEW_ORDER", "NO_W_ID", "NO_D_ID", "NO_O_ID"),
+            delivery * 10,
+        ),
+        # q5: New-Order stock probe.
+        (attrs("STOCK", "S_W_ID", "S_I_ID"), new_order * 10),
+        # q6: Order-Status / Delivery / Stock-Level order-line scans.
+        (
+            attrs("ORDER_LINE", "OL_W_ID", "OL_D_ID", "OL_O_ID"),
+            order_status + delivery * 10 + stock_level * 20,
+        ),
+        # q7: New-Order item lookups.
+        (attrs("ITEM", "I_ID"), new_order * 10),
+        # q8: New-Order / Payment warehouse lookup.
+        (attrs("WAREHOUSE", "W_ID"), new_order + payment),
+        # q9: Order-Status finds the customer's latest order.
+        (attrs("ORDERS", "O_W_ID", "O_D_ID", "O_C_ID"), order_status),
+        # q10: New-Order / Payment / Stock-Level district lookup.
+        (
+            attrs("DISTRICT", "D_W_ID", "D_ID"),
+            new_order + payment + stock_level,
+        ),
+        # q11: Payment / Order-Status customer lookup by last name.
+        (
+            attrs("CUSTOMER", "C_W_ID", "C_D_ID", "C_LAST"),
+            0.4 * payment + 0.4 * order_status,
+        ),
+    ]
+    query_specs = [
+        (table, attribute_ids, max(frequency, 1.0))
+        for (table, attribute_ids, _), frequency in templates
+    ]
+    return Workload.from_attribute_sets(schema, query_specs)

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.workload.generator import GeneratorConfig, generate_workload
+from repro.workload.query import Workload
+from repro.workload.schema import Schema
+
+
+@pytest.fixture
+def tiny_schema() -> Schema:
+    """Two small tables with hand-picked statistics."""
+    return Schema.build(
+        {
+            "ORDERS": (
+                10_000,
+                [
+                    ("ID", 10_000, 4),
+                    ("CUSTOMER", 500, 4),
+                    ("STATUS", 5, 1),
+                    ("REGION", 20, 2),
+                ],
+            ),
+            "ITEMS": (
+                50_000,
+                [
+                    ("ID", 50_000, 4),
+                    ("ORDER_ID", 10_000, 4),
+                    ("SKU", 2_000, 8),
+                ],
+            ),
+        }
+    )
+
+
+@pytest.fixture
+def tiny_workload(tiny_schema: Schema) -> Workload:
+    """A handful of conjunctive queries over the tiny schema.
+
+    Attribute ids: ORDERS = 0..3, ITEMS = 4..6.
+    """
+    return Workload.from_attribute_sets(
+        tiny_schema,
+        [
+            ("ORDERS", [0], 100.0),          # point lookup by id
+            ("ORDERS", [1, 3], 50.0),        # customer + region
+            ("ORDERS", [1, 2, 3], 25.0),     # customer + status + region
+            ("ORDERS", [2], 10.0),           # status scan
+            ("ITEMS", [4], 200.0),           # point lookup by id
+            ("ITEMS", [5, 6], 75.0),         # order + sku
+        ],
+    )
+
+
+@pytest.fixture
+def small_workload() -> Workload:
+    """A small seeded Appendix C workload (2 tables × 8 attrs × 10 qs)."""
+    return generate_workload(
+        GeneratorConfig(
+            tables=2,
+            attributes_per_table=8,
+            queries_per_table=10,
+            seed=13,
+        )
+    )
+
+
+@pytest.fixture
+def tiny_optimizer(tiny_workload: Workload) -> WhatIfOptimizer:
+    """Analytic what-if facade over the tiny workload's schema."""
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(tiny_workload.schema))
+    )
+
+
+@pytest.fixture
+def small_optimizer(small_workload: Workload) -> WhatIfOptimizer:
+    """Analytic what-if facade over the small generated workload."""
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(small_workload.schema))
+    )

@@ -1,0 +1,127 @@
+"""Tests for the CoPhy BIP formulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cophy.model import build_problem, lp_size
+from repro.exceptions import SolverError
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.index import Index
+from repro.indexes.memory import relative_budget
+
+
+class TestBuildProblem:
+    def test_counts_match_formulas(self, tiny_workload, tiny_optimizer):
+        """Variables = |I| + Σ_j (|I_j| + 1); constraints =
+        Q + Σ_j |I_j| + 1 (after the helps-nobody presolve)."""
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        budget = relative_budget(tiny_workload.schema, 0.5)
+        problem = build_problem(
+            tiny_workload, candidates, budget, tiny_optimizer
+        )
+        kept = len(problem.candidates)
+        applicable_total = sum(
+            1 for _, index in problem.z_options if index is not None
+        )
+        queries = tiny_workload.query_count
+        assert problem.size.variables == (
+            kept + queries + applicable_total
+        )
+        assert problem.size.constraints == (
+            queries + applicable_total + 1
+        )
+
+    def test_presolve_drops_useless_candidates(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        """An index applicable to no query (or never beating the
+        sequential scan) must not survive into the problem."""
+        useless = Index.of(tiny_schema, (3, 2, 1))  # leading REGION
+        useful = Index.of(tiny_schema, (0,))
+        budget = relative_budget(tiny_workload.schema, 0.5)
+        problem = build_problem(
+            tiny_workload, [useless, useful], budget, tiny_optimizer
+        )
+        assert useful in problem.candidates
+
+    def test_rejects_empty_candidates(self, tiny_workload, tiny_optimizer):
+        with pytest.raises(SolverError, match="non-empty"):
+            build_problem(tiny_workload, [], 100.0, tiny_optimizer)
+
+    def test_rejects_negative_budget(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        with pytest.raises(SolverError, match="budget"):
+            build_problem(
+                tiny_workload,
+                [Index.of(tiny_schema, (0,))],
+                -1.0,
+                tiny_optimizer,
+            )
+
+    def test_objective_uses_frequency_weighted_costs(
+        self, tiny_workload, tiny_optimizer
+    ):
+        candidates = syntactically_relevant_candidates(tiny_workload, 1)
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        problem = build_problem(
+            tiny_workload, candidates, budget, tiny_optimizer
+        )
+        x_count = len(problem.candidates)
+        for z_position, (query_position, index) in enumerate(
+            problem.z_options
+        ):
+            query = tiny_workload.queries[query_position]
+            if index is None:
+                expected = query.frequency * (
+                    tiny_optimizer.sequential_cost(query)
+                )
+            else:
+                expected = query.frequency * tiny_optimizer.index_cost(
+                    query, index
+                )
+            assert problem.objective[x_count + z_position] == (
+                pytest.approx(expected)
+            )
+
+    def test_selection_extraction(self, tiny_workload, tiny_optimizer):
+        candidates = syntactically_relevant_candidates(tiny_workload, 1)
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        problem = build_problem(
+            tiny_workload, candidates, budget, tiny_optimizer
+        )
+        solution = np.zeros(problem.constraint_matrix.shape[1])
+        solution[0] = 1.0
+        assert problem.selection_from(solution) == [
+            problem.candidates[0]
+        ]
+
+
+class TestLpSize:
+    def test_matches_paper_formula(self, tiny_workload):
+        """lp_size (no presolve) must equal |I| + Q + Σ_j |I_j| variables
+        and Q + Σ_j |I_j| + 1 constraints with leading-attribute
+        applicability."""
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        size = lp_size(tiny_workload, candidates)
+        applicable_total = 0
+        for query in tiny_workload:
+            for index in candidates:
+                if index.is_applicable_to(query):
+                    applicable_total += 1
+        assert size.variables == (
+            len(candidates) + tiny_workload.query_count + applicable_total
+        )
+        assert size.constraints == (
+            tiny_workload.query_count + applicable_total + 1
+        )
+
+    def test_grows_linearly_in_candidates(self, small_workload):
+        candidates = syntactically_relevant_candidates(small_workload, 3)
+        half = candidates[: len(candidates) // 2]
+        full_size = lp_size(small_workload, candidates)
+        half_size = lp_size(small_workload, half)
+        assert full_size.variables > half_size.variables
+        assert full_size.constraints > half_size.constraints

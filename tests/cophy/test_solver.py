@@ -1,0 +1,128 @@
+"""Tests for the CoPhy solver against ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cophy.exhaustive import exhaustive_best_selection
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.exceptions import SolverError
+from repro.indexes.candidates import (
+    single_attribute_candidates,
+    syntactically_relevant_candidates,
+)
+from repro.indexes.memory import relative_budget
+
+
+class TestCoPhyOptimality:
+    @pytest.mark.parametrize("share", [0.2, 0.5, 1.0])
+    def test_matches_exhaustive_on_singles(
+        self, tiny_workload, tiny_optimizer, share
+    ):
+        candidates = single_attribute_candidates(tiny_workload)
+        budget = relative_budget(tiny_workload.schema, share)
+        solver = CoPhyAlgorithm(tiny_optimizer, mip_gap=0.0)
+        result = solver.select(tiny_workload, budget, candidates)
+        truth = exhaustive_best_selection(
+            tiny_workload, budget, candidates, tiny_optimizer
+        )
+        assert result.total_cost == pytest.approx(
+            truth.total_cost, rel=1e-9
+        )
+
+    def test_matches_exhaustive_on_multi_attribute(
+        self, tiny_workload, tiny_optimizer
+    ):
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        assert len(candidates) <= 20
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        solver = CoPhyAlgorithm(tiny_optimizer, mip_gap=0.0)
+        result = solver.select(tiny_workload, budget, candidates)
+        truth = exhaustive_best_selection(
+            tiny_workload, budget, candidates, tiny_optimizer
+        )
+        assert result.total_cost == pytest.approx(
+            truth.total_cost, rel=1e-9
+        )
+
+    def test_zero_budget_selects_nothing(self, tiny_workload, tiny_optimizer):
+        candidates = single_attribute_candidates(tiny_workload)
+        solver = CoPhyAlgorithm(tiny_optimizer)
+        result = solver.select(tiny_workload, 0.0, candidates)
+        assert result.configuration.is_empty
+        assert result.total_cost == pytest.approx(
+            tiny_optimizer.workload_cost(tiny_workload, ())
+        )
+
+    def test_respects_budget(self, tiny_workload, tiny_optimizer):
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        budget = relative_budget(tiny_workload.schema, 0.3)
+        result = CoPhyAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget, candidates
+        )
+        assert result.memory <= budget
+
+    def test_reported_cost_matches_facade(self, tiny_workload, tiny_optimizer):
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        budget = relative_budget(tiny_workload.schema, 0.5)
+        result = CoPhyAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget, candidates
+        )
+        assert result.total_cost == pytest.approx(
+            tiny_optimizer.workload_cost(
+                tiny_workload, result.configuration
+            )
+        )
+
+    def test_lp_metadata_populated(self, tiny_workload, tiny_optimizer):
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        budget = relative_budget(tiny_workload.schema, 0.5)
+        result = CoPhyAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget, candidates
+        )
+        assert result.variables > 0
+        assert result.constraints > 0
+        assert result.mip_gap == 0.05
+        assert result.timed_out is False
+
+
+class TestParameterValidation:
+    def test_rejects_negative_gap(self, tiny_optimizer):
+        with pytest.raises(SolverError, match="mip_gap"):
+            CoPhyAlgorithm(tiny_optimizer, mip_gap=-0.1)
+
+    def test_rejects_non_positive_time_limit(self, tiny_optimizer):
+        with pytest.raises(SolverError, match="time_limit"):
+            CoPhyAlgorithm(tiny_optimizer, time_limit=0.0)
+
+
+class TestExhaustive:
+    def test_caps_candidate_count(self, tiny_workload, tiny_optimizer):
+        candidates = syntactically_relevant_candidates(tiny_workload, 3)
+        if len(candidates) > 5:
+            with pytest.raises(SolverError, match="capped"):
+                exhaustive_best_selection(
+                    tiny_workload,
+                    1e12,
+                    candidates,
+                    tiny_optimizer,
+                    max_candidates=5,
+                )
+
+    def test_prefers_smaller_memory_on_cost_ties(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        from repro.indexes.index import Index
+        from repro.indexes.memory import index_memory
+
+        # Two copies of effectively identical coverage: (0,) and (0, 2).
+        small = Index.of(tiny_schema, (0,))
+        big = Index.of(tiny_schema, (0, 2))
+        budget = index_memory(tiny_schema, big) * 2
+        result = exhaustive_best_selection(
+            tiny_workload, budget, [small, big], tiny_optimizer
+        )
+        if result.total_cost == pytest.approx(
+            tiny_optimizer.workload_cost(tiny_workload, (small,))
+        ):
+            assert small in result.configuration

@@ -1,0 +1,63 @@
+"""Tests for the reconfiguration cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import NO_RECONFIGURATION, ReconfigurationModel
+from repro.exceptions import BudgetError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+
+
+class TestReconfigurationModel:
+    def test_default_is_free(self, tiny_schema):
+        index = Index.of(tiny_schema, (0,))
+        assert NO_RECONFIGURATION.is_free
+        assert NO_RECONFIGURATION.creation_cost(tiny_schema, index) == 0.0
+        assert NO_RECONFIGURATION.drop_cost(tiny_schema, index) == 0.0
+
+    def test_creation_cost_scales_with_columns(self, tiny_schema):
+        model = ReconfigurationModel(creation_weight=1.0)
+        single = model.creation_cost(
+            tiny_schema, Index.of(tiny_schema, (1,))
+        )
+        double = model.creation_cost(
+            tiny_schema, Index.of(tiny_schema, (1, 3))
+        )
+        assert double > single > 0
+
+    def test_drop_cost(self, tiny_schema):
+        model = ReconfigurationModel(drop_weight=0.5)
+        index = Index.of(tiny_schema, (1,))
+        # Attribute 1: 4 bytes × 10_000 rows.
+        assert model.drop_cost(tiny_schema, index) == pytest.approx(
+            0.5 * 4 * 10_000
+        )
+
+    def test_cost_counts_created_and_dropped(self, tiny_schema):
+        model = ReconfigurationModel(creation_weight=1.0, drop_weight=1.0)
+        kept = Index.of(tiny_schema, (0,))
+        dropped = Index.of(tiny_schema, (2,))
+        created = Index.of(tiny_schema, (1,))
+        baseline = IndexConfiguration([kept, dropped])
+        new = IndexConfiguration([kept, created])
+        expected = model.creation_cost(
+            tiny_schema, created
+        ) + model.drop_cost(tiny_schema, dropped)
+        assert model.cost(tiny_schema, new, baseline) == pytest.approx(
+            expected
+        )
+
+    def test_identical_configurations_cost_nothing(self, tiny_schema):
+        model = ReconfigurationModel(creation_weight=5.0, drop_weight=5.0)
+        configuration = IndexConfiguration([Index.of(tiny_schema, (0,))])
+        assert model.cost(
+            tiny_schema, configuration, configuration
+        ) == 0.0
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(BudgetError, match="weights"):
+            ReconfigurationModel(creation_weight=-1.0)
+        with pytest.raises(BudgetError, match="weights"):
+            ReconfigurationModel(drop_weight=-1.0)

@@ -1,0 +1,138 @@
+"""Tests for the adaptive advisor (dynamic workloads, Section VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import NO_RECONFIGURATION, ReconfigurationModel
+from repro.core.dynamic import (
+    AdaptationStrategy,
+    AdaptiveAdvisor,
+    EpochReport,
+)
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.exceptions import BudgetError
+from repro.indexes.memory import relative_budget
+from repro.workload.drift import DriftConfig, drifting_workloads
+
+
+@pytest.fixture
+def snapshots(small_workload):
+    return drifting_workloads(
+        small_workload,
+        DriftConfig(
+            epochs=5, frequency_volatility=0.6, churn_rate=0.3, seed=11
+        ),
+    )
+
+
+def _advisor(workload, strategy, reconfiguration=NO_RECONFIGURATION,
+             **kwargs):
+    optimizer = WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+    budget = relative_budget(workload.schema, 0.3)
+    return AdaptiveAdvisor(
+        optimizer, budget, reconfiguration, strategy=strategy, **kwargs
+    )
+
+
+class TestStrategies:
+    def test_static_switches_only_once(self, small_workload, snapshots):
+        advisor = _advisor(small_workload, AdaptationStrategy.STATIC)
+        reports = advisor.run(snapshots)
+        assert reports[0].switched
+        assert not any(report.switched for report in reports[1:])
+        for report in reports[1:]:
+            assert report.configuration == reports[0].configuration
+
+    def test_reselect_adapts_every_epoch_it_helps(
+        self, small_workload, snapshots
+    ):
+        advisor = _advisor(small_workload, AdaptationStrategy.RESELECT)
+        reports = advisor.run(snapshots)
+        assert reports[0].switched
+        # With free reconfiguration, reselect beats static on drift.
+        static = _advisor(small_workload, AdaptationStrategy.STATIC)
+        static_reports = static.run(snapshots)
+        assert sum(r.total_cost for r in reports) <= sum(
+            r.total_cost for r in static_reports
+        ) * (1 + 1e-9)
+
+    def test_adaptive_skips_unprofitable_switches(
+        self, small_workload, snapshots
+    ):
+        expensive = ReconfigurationModel(creation_weight=1e6)
+        adaptive = _advisor(
+            small_workload, AdaptationStrategy.ADAPTIVE, expensive
+        )
+        reports = adaptive.run(snapshots)
+        # With absurdly expensive reconfiguration, never switch after
+        # the initial configuration.
+        assert sum(report.switched for report in reports) == 1
+
+    def test_adaptive_never_pays_more_than_reselect_under_costly_r(
+        self, small_workload, snapshots
+    ):
+        model = ReconfigurationModel(creation_weight=0.5)
+        adaptive_total = sum(
+            report.total_cost
+            for report in _advisor(
+                small_workload, AdaptationStrategy.ADAPTIVE, model
+            ).run(snapshots)
+        )
+        reselect_total = sum(
+            report.total_cost
+            for report in _advisor(
+                small_workload, AdaptationStrategy.RESELECT, model
+            ).run(snapshots)
+        )
+        assert adaptive_total <= reselect_total * (1 + 1e-9)
+
+
+class TestReports:
+    def test_epoch_numbering_and_costs(self, small_workload, snapshots):
+        advisor = _advisor(small_workload, AdaptationStrategy.ADAPTIVE)
+        reports = advisor.run(snapshots)
+        assert [report.epoch for report in reports] == list(range(5))
+        for report in reports:
+            assert isinstance(report, EpochReport)
+            assert report.workload_cost > 0
+            assert report.reconfiguration_cost >= 0
+            assert report.total_cost == pytest.approx(
+                report.workload_cost + report.reconfiguration_cost
+            )
+
+    def test_no_reconfiguration_paid_without_switch(
+        self, small_workload, snapshots
+    ):
+        advisor = _advisor(
+            small_workload,
+            AdaptationStrategy.STATIC,
+            ReconfigurationModel(creation_weight=1.0),
+        )
+        reports = advisor.run(snapshots)
+        for report in reports[1:]:
+            assert report.reconfiguration_cost == 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_budget(self, small_workload):
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(small_workload.schema))
+        )
+        with pytest.raises(BudgetError, match="budget"):
+            AdaptiveAdvisor(optimizer, -1.0, NO_RECONFIGURATION)
+
+    def test_rejects_bad_amortization(self, small_workload):
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(small_workload.schema))
+        )
+        with pytest.raises(BudgetError, match="amortization"):
+            AdaptiveAdvisor(
+                optimizer,
+                1.0,
+                NO_RECONFIGURATION,
+                amortization_epochs=0,
+            )

@@ -1,0 +1,258 @@
+"""Tests for Algorithm 1 (Extend / H6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import ReconfigurationModel
+from repro.core.extend import ExtendAlgorithm
+from repro.core.steps import StepKind
+from repro.exceptions import BudgetError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.indexes.memory import index_memory, relative_budget
+
+
+class TestBasicBehaviour:
+    def test_zero_budget_selects_nothing(self, tiny_workload, tiny_optimizer):
+        result = ExtendAlgorithm(tiny_optimizer).select(tiny_workload, 0)
+        assert result.configuration.is_empty
+        assert result.memory == 0
+        assert result.steps == ()
+        assert result.total_cost == pytest.approx(
+            tiny_optimizer.workload_cost(tiny_workload, ())
+        )
+
+    def test_negative_budget_rejected(self, tiny_workload, tiny_optimizer):
+        with pytest.raises(BudgetError, match="budget"):
+            ExtendAlgorithm(tiny_optimizer).select(tiny_workload, -1)
+
+    def test_respects_budget(self, tiny_workload, tiny_optimizer):
+        budget = relative_budget(tiny_workload.schema, 0.3)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        assert result.memory <= budget
+        assert result.configuration.memory(tiny_workload.schema) == (
+            result.memory
+        )
+
+    def test_first_step_is_single_attribute(self, tiny_workload, tiny_optimizer):
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        assert result.steps[0].kind is StepKind.NEW_SINGLE
+
+    def test_cost_decreases_monotonically_along_steps(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        costs = [result.steps[0].cost_before] + [
+            step.cost_after for step in result.steps
+        ]
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(costs, costs[1:])
+        )
+
+    def test_internal_cost_matches_fresh_evaluation(
+        self, small_workload, small_optimizer
+    ):
+        """The incremental per-query accounting must agree with a fresh
+        evaluation of the final configuration (regression test for the
+        morphing monotonicity bug)."""
+        budget = relative_budget(small_workload.schema, 0.4)
+        result = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        fresh = small_optimizer.workload_cost(
+            small_workload, result.configuration
+        )
+        assert result.total_cost == pytest.approx(fresh, rel=1e-9)
+
+    def test_deterministic(self, small_workload, small_optimizer):
+        budget = relative_budget(small_workload.schema, 0.3)
+        first = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        second = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        assert first.configuration == second.configuration
+        assert [s.kind for s in first.steps] == [
+            s.kind for s in second.steps
+        ]
+
+    def test_larger_budget_never_worse(self, small_workload, small_optimizer):
+        algorithm = ExtendAlgorithm(small_optimizer)
+        costs = []
+        for share in (0.1, 0.3, 0.6):
+            budget = relative_budget(small_workload.schema, share)
+            costs.append(
+                algorithm.select(small_workload, budget).total_cost
+            )
+        assert costs[0] >= costs[1] >= costs[2]
+
+
+class TestMorphing:
+    def test_produces_multi_attribute_indexes(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        widths = {index.width for index in result.configuration}
+        assert max(widths) >= 2
+        assert any(
+            step.kind is StepKind.EXTEND for step in result.steps
+        )
+
+    def test_extend_step_replaces_old_index(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        for step in result.steps:
+            if step.kind is StepKind.EXTEND:
+                assert step.index_before not in result.configuration or (
+                    # unless it was re-created later as a branch
+                    step.index_before.attributes
+                    != step.index_after.attributes
+                )
+
+    def test_max_index_width_cap(self, tiny_workload, tiny_optimizer):
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(
+            tiny_optimizer, max_index_width=1
+        ).select(tiny_workload, budget)
+        assert all(index.width == 1 for index in result.configuration)
+
+
+class TestStopCriteria:
+    def test_max_steps(self, tiny_workload, tiny_optimizer):
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(tiny_optimizer, max_steps=2).select(
+            tiny_workload, budget
+        )
+        assert len(result.steps) <= 2
+
+    def test_stops_without_improvement(self, tiny_workload, tiny_optimizer):
+        """With a budget far beyond saturation the algorithm stops on
+        its own once no step has positive benefit."""
+        budget = relative_budget(tiny_workload.schema, 100.0)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        assert result.memory < budget
+
+    def test_strict_stop_mode(self, small_workload, small_optimizer):
+        """skip_oversized=False stops at the first non-fitting step, so
+        its selection is a prefix of the step series (never better than
+        the default mode)."""
+        budget = relative_budget(small_workload.schema, 0.15)
+        flexible = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        strict = ExtendAlgorithm(
+            small_optimizer, skip_oversized=False
+        ).select(small_workload, budget)
+        assert strict.total_cost >= flexible.total_cost - 1e-9
+        assert strict.memory <= budget
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_steps": 0},
+            {"max_index_width": 0},
+            {"n_best_singles": 0},
+            {"missed_opportunities": -1},
+        ],
+    )
+    def test_rejects_invalid(self, tiny_optimizer, kwargs):
+        with pytest.raises(BudgetError):
+            ExtendAlgorithm(tiny_optimizer, **kwargs)
+
+
+class TestReconfiguration:
+    def test_free_reconfiguration_ignores_baseline(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        baseline = IndexConfiguration([Index.of(tiny_schema, (2,))])
+        budget = relative_budget(tiny_workload.schema, 0.5)
+        result = ExtendAlgorithm(
+            tiny_optimizer, baseline=baseline
+        ).select(tiny_workload, budget)
+        assert result.reconfiguration_cost == 0.0
+
+    def test_costly_reconfiguration_discourages_new_indexes(
+        self, tiny_workload, tiny_schema
+    ):
+        from repro.cost.model import CostModel
+        from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(tiny_schema))
+        )
+        free = ExtendAlgorithm(optimizer).select(tiny_workload, budget)
+        expensive_model = ReconfigurationModel(creation_weight=1e9)
+        expensive = ExtendAlgorithm(
+            optimizer, reconfiguration=expensive_model
+        ).select(tiny_workload, budget)
+        assert len(expensive.configuration) <= len(free.configuration)
+
+    def test_baseline_with_existing_indexes_reports_r(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        baseline = IndexConfiguration([Index.of(tiny_schema, (0,))])
+        model = ReconfigurationModel(creation_weight=1e-6)
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(
+            tiny_optimizer, reconfiguration=model, baseline=baseline
+        ).select(tiny_workload, budget)
+        created = result.configuration.created_against(baseline)
+        expected = sum(
+            model.creation_cost(tiny_schema, index) for index in created
+        ) + sum(
+            model.drop_cost(tiny_schema, index)
+            for index in result.configuration.dropped_against(baseline)
+        )
+        assert result.reconfiguration_cost == pytest.approx(expected)
+
+    def test_baseline_indexes_count_toward_memory(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        index = Index.of(tiny_schema, (0,))
+        baseline = IndexConfiguration([index])
+        result = ExtendAlgorithm(
+            tiny_optimizer, baseline=baseline
+        ).select(tiny_workload, budget=0)
+        assert result.memory == index_memory(tiny_schema, index)
+        assert index in result.configuration
+
+
+class TestWhatIfAccounting:
+    def test_first_step_dominates_call_count(
+        self, small_workload, small_optimizer
+    ):
+        """Section III-A: more than half the what-if calls happen in the
+        first construction step (pricing all single-attribute indexes)."""
+        budget = relative_budget(small_workload.schema, 0.5)
+        result = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        q_bar = sum(
+            q.attribute_count for q in small_workload
+        ) / len(small_workload)
+        first_step_calls = small_workload.query_count * q_bar
+        assert result.whatif_calls < 4 * first_step_calls
+        assert result.whatif_calls >= first_step_calls

@@ -1,0 +1,122 @@
+"""Tests for the efficient frontier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frontier import Frontier, FrontierPoint, frontier_from_steps
+from repro.core.steps import ConstructionStep, StepKind
+from repro.indexes.index import Index
+
+
+def _points(*pairs) -> list[FrontierPoint]:
+    return [FrontierPoint(memory=m, cost=c) for m, c in pairs]
+
+
+class TestFrontier:
+    def test_keeps_only_pareto_points(self):
+        frontier = Frontier(
+            _points((0, 100), (10, 80), (12, 90), (20, 50))
+        )
+        assert [(p.memory, p.cost) for p in frontier.points] == [
+            (0, 100),
+            (10, 80),
+            (20, 50),
+        ]
+
+    def test_equal_memory_keeps_cheaper(self):
+        frontier = Frontier(_points((10, 80), (10, 60)))
+        assert [(p.memory, p.cost) for p in frontier.points] == [(10, 60)]
+
+    def test_cost_at_is_step_function(self):
+        frontier = Frontier(_points((0, 100), (10, 80), (20, 50)))
+        assert frontier.cost_at(0) == 100
+        assert frontier.cost_at(9.9) == 100
+        assert frontier.cost_at(10) == 80
+        assert frontier.cost_at(15) == 80
+        assert frontier.cost_at(1e9) == 50
+
+    def test_cost_at_below_first_point_is_inf(self):
+        frontier = Frontier(_points((10, 80)))
+        assert frontier.cost_at(5) == float("inf")
+
+    def test_empty(self):
+        frontier = Frontier([])
+        assert frontier.is_empty
+        assert len(frontier) == 0
+        assert frontier.cost_at(100) == float("inf")
+
+    def test_sampled(self):
+        frontier = Frontier(_points((0, 100), (10, 80)))
+        sampled = frontier.sampled([0, 5, 10, 20])
+        assert [p.cost for p in sampled] == [100, 100, 80, 80]
+
+    def test_dominates(self):
+        better = Frontier(_points((0, 100), (10, 50)))
+        worse = Frontier(_points((0, 100), (10, 80)))
+        budgets = [0, 10, 20]
+        assert better.dominates(worse, budgets)
+        assert not worse.dominates(better, budgets)
+
+    def test_mean_relative_gap(self):
+        reference = Frontier(_points((0, 100), (10, 50)))
+        other = Frontier(_points((0, 110), (10, 55)))
+        gap = other.mean_relative_gap(reference, [0, 10])
+        assert gap == pytest.approx(0.1)
+
+    def test_gap_skips_infeasible_reference_budgets(self):
+        reference = Frontier(_points((10, 50)))
+        other = Frontier(_points((0, 100), (10, 50)))
+        gap = other.mean_relative_gap(reference, [5, 10])
+        assert gap == pytest.approx(0.0)
+
+
+class TestFrontierFromSteps:
+    def test_includes_start_and_all_steps(self):
+        steps = [
+            ConstructionStep(
+                step_number=1,
+                kind=StepKind.NEW_SINGLE,
+                index_before=None,
+                index_after=Index("T", (1,)),
+                cost_before=100.0,
+                cost_after=70.0,
+                memory_before=0,
+                memory_after=10,
+            ),
+            ConstructionStep(
+                step_number=2,
+                kind=StepKind.EXTEND,
+                index_before=Index("T", (1,)),
+                index_after=Index("T", (1, 2)),
+                cost_before=70.0,
+                cost_after=40.0,
+                memory_before=10,
+                memory_after=16,
+            ),
+        ]
+        frontier = frontier_from_steps(steps, initial_cost=100.0)
+        assert [(p.memory, p.cost) for p in frontier.points] == [
+            (0.0, 100.0),
+            (10.0, 70.0),
+            (16.0, 40.0),
+        ]
+
+    def test_extend_trace_is_a_valid_frontier(
+        self, tiny_workload, tiny_optimizer
+    ):
+        from repro.core.extend import ExtendAlgorithm
+        from repro.indexes.memory import relative_budget
+
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        frontier = frontier_from_steps(
+            result.steps,
+            initial_cost=tiny_optimizer.workload_cost(tiny_workload, ()),
+        )
+        assert len(frontier) == len(result.steps) + 1
+        assert frontier.cost_at(result.memory) == pytest.approx(
+            result.total_cost
+        )

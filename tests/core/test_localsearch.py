@@ -1,0 +1,113 @@
+"""Tests for the swap local search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extend import ExtendAlgorithm
+from repro.core.localsearch import swap_local_search
+from repro.exceptions import BudgetError
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.memory import relative_budget
+
+
+class TestSwapLocalSearch:
+    def test_never_worse_than_input(self, small_workload, small_optimizer):
+        candidates = syntactically_relevant_candidates(small_workload)
+        for share in (0.1, 0.2, 0.4):
+            budget = relative_budget(small_workload.schema, share)
+            start = ExtendAlgorithm(small_optimizer).select(
+                small_workload, budget
+            )
+            improved = swap_local_search(
+                small_workload,
+                small_optimizer,
+                start,
+                budget,
+                candidates,
+            )
+            assert improved.total_cost <= start.total_cost + 1e-9
+
+    def test_respects_budget(self, small_workload, small_optimizer):
+        candidates = syntactically_relevant_candidates(small_workload)
+        budget = relative_budget(small_workload.schema, 0.2)
+        start = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        improved = swap_local_search(
+            small_workload, small_optimizer, start, budget, candidates
+        )
+        assert improved.memory <= budget
+
+    def test_result_cost_matches_fresh_evaluation(
+        self, small_workload, small_optimizer
+    ):
+        candidates = syntactically_relevant_candidates(small_workload)
+        budget = relative_budget(small_workload.schema, 0.3)
+        start = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        improved = swap_local_search(
+            small_workload, small_optimizer, start, budget, candidates
+        )
+        fresh = small_optimizer.workload_cost(
+            small_workload, improved.configuration
+        )
+        assert improved.total_cost == pytest.approx(fresh, rel=1e-9)
+
+    def test_algorithm_name_suffixed(self, small_workload, small_optimizer):
+        candidates = syntactically_relevant_candidates(small_workload)
+        budget = relative_budget(small_workload.schema, 0.2)
+        start = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        improved = swap_local_search(
+            small_workload, small_optimizer, start, budget, candidates
+        )
+        assert improved.algorithm == "H6+swap"
+
+    def test_empty_pool_is_noop(self, small_workload, small_optimizer):
+        budget = relative_budget(small_workload.schema, 0.2)
+        start = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        unchanged = swap_local_search(
+            small_workload, small_optimizer, start, budget, []
+        )
+        assert unchanged.configuration == start.configuration
+        assert unchanged.total_cost == pytest.approx(start.total_cost)
+
+    def test_rejects_negative_budget(self, small_workload, small_optimizer):
+        start = ExtendAlgorithm(small_optimizer).select(
+            small_workload, 0
+        )
+        with pytest.raises(BudgetError, match="budget"):
+            swap_local_search(
+                small_workload, small_optimizer, start, -1, []
+            )
+
+    def test_can_recover_greedy_mistakes(self, tiny_workload, tiny_optimizer):
+        """Starting from a deliberately bad selection, the swap pass must
+        find strictly better configurations when the budget allows."""
+        from repro.core.steps import SelectionResult
+        from repro.indexes.configuration import IndexConfiguration
+        from repro.indexes.index import Index
+        from repro.indexes.memory import configuration_memory
+
+        schema = tiny_workload.schema
+        bad = IndexConfiguration([Index.of(schema, (2,))])  # STATUS only
+        budget = relative_budget(schema, 1.0)
+        start = SelectionResult(
+            algorithm="bad",
+            configuration=bad,
+            total_cost=tiny_optimizer.workload_cost(tiny_workload, bad),
+            memory=configuration_memory(schema, bad),
+            budget=budget,
+            runtime_seconds=0.0,
+            whatif_calls=0,
+        )
+        candidates = syntactically_relevant_candidates(tiny_workload)
+        improved = swap_local_search(
+            tiny_workload, tiny_optimizer, start, budget, candidates
+        )
+        assert improved.total_cost < start.total_cost

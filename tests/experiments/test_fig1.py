@@ -1,0 +1,51 @@
+"""Tests for the Fig. 1 illustration harness."""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import Fig1Config, render, run
+
+
+class TestFig1:
+    def test_structure_matches_the_figure(self):
+        output = run(Fig1Config())
+        # Left panel: the 11 aggregated TPC-C templates.
+        assert len(output.templates) == 11
+        # Middle panel: first step creates a single-attribute index,
+        # later steps morph (the figure's core narrative).
+        assert output.steps[0][1] == "new-single"
+        assert output.morph_count >= 1
+        # Ratios are (weakly) decreasing along the construction —
+        # diminishing returns, Property 4.
+        ratios = [ratio for _, _, _, ratio in output.steps]
+        violations = sum(
+            1
+            for earlier, later in zip(ratios, ratios[1:])
+            if later > earlier * 1.01
+        )
+        assert violations <= len(ratios) // 4
+
+    def test_multi_attribute_customer_index_emerges(self):
+        output = run(Fig1Config())
+        assert any(
+            "CUSTOMER(" in label and "," in label
+            for label, _ in output.coverage
+        )
+
+    def test_every_coverage_entry_names_real_queries(self):
+        output = run(Fig1Config())
+        template_names = {name for name, _, _ in output.templates}
+        for _, covered in output.coverage:
+            if covered == "-":
+                continue
+            for name in covered.split(", "):
+                assert name in template_names
+
+    def test_massive_improvement(self):
+        output = run(Fig1Config())
+        assert output.improvement_factor > 100
+
+    def test_render_has_three_panels(self):
+        text = render(run(Fig1Config()))
+        assert "Fig. 1 (left)" in text
+        assert "Fig. 1 (middle)" in text
+        assert "Fig. 1 (right)" in text

@@ -1,0 +1,78 @@
+"""Tests for the shared greedy-fill skeleton of H1–H5."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+from repro.heuristics.base import RankingHeuristic
+from repro.indexes.index import Index
+from repro.indexes.memory import index_memory
+
+
+class _FixedOrderHeuristic(RankingHeuristic):
+    """Selects candidates in exactly the given order (for testing)."""
+
+    name = "fixed"
+
+    def __init__(self, optimizer, order: list[Index]) -> None:
+        super().__init__(optimizer)
+        self._order = order
+
+    def rank(self, workload, candidates: Sequence[Index]) -> list[Index]:
+        return [index for index in self._order if index in candidates]
+
+
+class TestGreedyFill:
+    def test_skips_oversized_and_takes_later_smaller(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        """A candidate that does not fit is skipped, not a stop signal."""
+        big = Index.of(tiny_schema, (4,))       # ITEMS: n = 50 000
+        small = Index.of(tiny_schema, (2,))     # ORDERS.STATUS: tiny
+        budget = index_memory(tiny_schema, small) + 1
+        heuristic = _FixedOrderHeuristic(tiny_optimizer, [big, small])
+        result = heuristic.select(tiny_workload, budget, [big, small])
+        assert small in result.configuration
+        assert big not in result.configuration
+
+    def test_takes_in_rank_order_while_fitting(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        first = Index.of(tiny_schema, (2,))
+        second = Index.of(tiny_schema, (3,))
+        budget = (
+            index_memory(tiny_schema, first)
+            + index_memory(tiny_schema, second)
+        )
+        heuristic = _FixedOrderHeuristic(
+            tiny_optimizer, [first, second]
+        )
+        result = heuristic.select(
+            tiny_workload, budget, [second, first]
+        )
+        assert first in result.configuration
+        assert second in result.configuration
+        assert result.memory == budget
+
+    def test_reports_cost_of_actual_selection(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        index = Index.of(tiny_schema, (0,))
+        heuristic = _FixedOrderHeuristic(tiny_optimizer, [index])
+        budget = index_memory(tiny_schema, index)
+        result = heuristic.select(tiny_workload, budget, [index])
+        assert result.total_cost == pytest.approx(
+            tiny_optimizer.workload_cost(
+                tiny_workload, result.configuration
+            )
+        )
+
+    def test_empty_candidates(self, tiny_workload, tiny_optimizer):
+        heuristic = _FixedOrderHeuristic(tiny_optimizer, [])
+        result = heuristic.select(tiny_workload, 1e12, [])
+        assert result.configuration.is_empty
+        assert result.total_cost == pytest.approx(
+            tiny_optimizer.workload_cost(tiny_workload, ())
+        )

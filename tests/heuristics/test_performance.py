@@ -1,0 +1,132 @@
+"""Tests for the performance-based heuristics H4 and H5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heuristics.performance import (
+    BenefitPerSizeHeuristic,
+    PerformanceHeuristic,
+)
+from repro.indexes.candidates import (
+    single_attribute_candidates,
+    syntactically_relevant_candidates,
+)
+from repro.indexes.memory import index_memory, relative_budget
+
+
+class TestH4Performance:
+    def test_ranks_by_standalone_benefit(self, tiny_workload, tiny_optimizer):
+        heuristic = PerformanceHeuristic(tiny_optimizer)
+        candidates = single_attribute_candidates(tiny_workload)
+        ranked = heuristic.rank(tiny_workload, candidates)
+        benefits = []
+        for index in ranked:
+            benefit = 0.0
+            for query in tiny_workload:
+                if index.is_applicable_to(query):
+                    benefit += query.frequency * max(
+                        0.0,
+                        tiny_optimizer.sequential_cost(query)
+                        - tiny_optimizer.index_cost(query, index),
+                    )
+            benefits.append(benefit)
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_names_distinguish_skyline(self, tiny_optimizer):
+        assert PerformanceHeuristic(tiny_optimizer).name == "H4"
+        assert (
+            PerformanceHeuristic(tiny_optimizer, use_skyline=True).name
+            == "H4+skyline"
+        )
+
+    def test_skyline_variant_uses_subset_of_candidates(
+        self, tiny_workload, tiny_optimizer
+    ):
+        candidates = syntactically_relevant_candidates(tiny_workload, 3)
+        plain = PerformanceHeuristic(tiny_optimizer).rank(
+            tiny_workload, candidates
+        )
+        filtered = PerformanceHeuristic(
+            tiny_optimizer, use_skyline=True
+        ).rank(tiny_workload, candidates)
+        assert set(filtered) <= set(plain)
+
+    def test_ignores_interaction(self, tiny_workload, tiny_optimizer):
+        """H4 happily selects two near-identical indexes — the defect
+        the paper calls out.  Both (1,3) variants rank adjacently even
+        though selecting both is nearly useless."""
+        heuristic = PerformanceHeuristic(tiny_optimizer)
+        schema = tiny_workload.schema
+        from repro.indexes.index import Index
+
+        twin_a = Index.of(schema, (1, 3))
+        twin_b = Index.of(schema, (1, 2))
+        budget = 2.1 * index_memory(schema, twin_a)
+        result = heuristic.select(
+            tiny_workload, budget, [twin_a, twin_b]
+        )
+        assert len(result.configuration) == 2
+
+
+class TestH5BenefitPerSize:
+    def test_ranks_by_ratio(self, tiny_workload, tiny_optimizer):
+        heuristic = BenefitPerSizeHeuristic(tiny_optimizer)
+        candidates = single_attribute_candidates(tiny_workload)
+        ranked = heuristic.rank(tiny_workload, candidates)
+        schema = tiny_workload.schema
+        ratios = []
+        for index in ranked:
+            benefit = 0.0
+            for query in tiny_workload:
+                if index.is_applicable_to(query):
+                    benefit += query.frequency * max(
+                        0.0,
+                        tiny_optimizer.sequential_cost(query)
+                        - tiny_optimizer.index_cost(query, index),
+                    )
+            ratios.append(benefit / index_memory(schema, index))
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_prefers_small_indexes_over_marginally_better_large_ones(
+        self, tiny_workload, tiny_optimizer
+    ):
+        """Ratio ranking can invert pure benefit ranking."""
+        h4 = PerformanceHeuristic(tiny_optimizer)
+        h5 = BenefitPerSizeHeuristic(tiny_optimizer)
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        assert h4.rank(tiny_workload, candidates) != h5.rank(
+            tiny_workload, candidates
+        )
+
+    def test_select_respects_budget(self, tiny_workload, tiny_optimizer):
+        heuristic = BenefitPerSizeHeuristic(tiny_optimizer)
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        budget = relative_budget(tiny_workload.schema, 0.25)
+        result = heuristic.select(tiny_workload, budget, candidates)
+        assert result.memory <= budget
+        assert result.algorithm == "H5"
+
+
+class TestAgainstExtend:
+    @pytest.mark.parametrize("share", [0.3, 0.6])
+    def test_extend_at_least_as_good(
+        self, small_workload, small_optimizer, share
+    ):
+        """On the synthetic workload, H6 should never lose to the
+        individually-measured greedy heuristics (the paper's headline)."""
+        from repro.core.extend import ExtendAlgorithm
+
+        candidates = syntactically_relevant_candidates(small_workload)
+        budget = relative_budget(small_workload.schema, share)
+        extend = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        for heuristic in (
+            PerformanceHeuristic(small_optimizer),
+            BenefitPerSizeHeuristic(small_optimizer),
+        ):
+            baseline = heuristic.select(
+                small_workload, budget, candidates
+            )
+            assert extend.total_cost <= baseline.total_cost * 1.02

@@ -1,0 +1,111 @@
+"""Tests for the rule-based heuristics H1–H3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BudgetError
+from repro.heuristics.rules import (
+    FrequencyHeuristic,
+    SelectivityFrequencyHeuristic,
+    SelectivityHeuristic,
+)
+from repro.indexes.candidates import (
+    single_attribute_candidates,
+    syntactically_relevant_candidates,
+)
+from repro.indexes.index import Index
+from repro.indexes.memory import relative_budget
+
+
+class TestH1Frequency:
+    def test_ranks_by_weighted_occurrences(self, tiny_workload, tiny_optimizer):
+        heuristic = FrequencyHeuristic(tiny_optimizer)
+        candidates = single_attribute_candidates(tiny_workload)
+        ranked = heuristic.rank(tiny_workload, candidates)
+        # ITEMS.ID (4) has b = 200, ORDERS.ID (0) has b = 100.
+        assert ranked[0].attributes == (4,)
+        assert ranked[1].attributes == (0,)
+
+    def test_needs_no_whatif_calls_for_ranking(
+        self, tiny_workload, tiny_optimizer
+    ):
+        heuristic = FrequencyHeuristic(tiny_optimizer)
+        heuristic.rank(
+            tiny_workload, single_attribute_candidates(tiny_workload)
+        )
+        assert tiny_optimizer.calls == 0
+
+    def test_select_respects_budget(self, tiny_workload, tiny_optimizer):
+        heuristic = FrequencyHeuristic(tiny_optimizer)
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        budget = relative_budget(tiny_workload.schema, 0.3)
+        result = heuristic.select(tiny_workload, budget, candidates)
+        assert result.memory <= budget
+        assert result.algorithm == "H1"
+
+    def test_zero_budget(self, tiny_workload, tiny_optimizer):
+        heuristic = FrequencyHeuristic(tiny_optimizer)
+        result = heuristic.select(
+            tiny_workload,
+            0.0,
+            single_attribute_candidates(tiny_workload),
+        )
+        assert result.configuration.is_empty
+
+    def test_negative_budget_rejected(self, tiny_workload, tiny_optimizer):
+        with pytest.raises(BudgetError, match="budget"):
+            FrequencyHeuristic(tiny_optimizer).select(
+                tiny_workload, -1.0, []
+            )
+
+
+class TestH2Selectivity:
+    def test_ranks_by_combined_selectivity(self, tiny_workload, tiny_optimizer):
+        heuristic = SelectivityHeuristic(tiny_optimizer)
+        candidates = single_attribute_candidates(tiny_workload)
+        ranked = heuristic.rank(tiny_workload, candidates)
+        # ITEMS.ID has d = 50_000 (the most selective attribute).
+        assert ranked[0].attributes == (4,)
+        selectivities = [
+            tiny_workload.schema.selectivity(index.attributes[0])
+            for index in ranked
+        ]
+        assert selectivities == sorted(selectivities)
+
+    def test_multi_attribute_candidates_rank_first(
+        self, tiny_workload, tiny_optimizer
+    ):
+        """Combined selectivity of a pair is smaller than each single."""
+        heuristic = SelectivityHeuristic(tiny_optimizer)
+        single = Index.of(tiny_workload.schema, (1,))
+        pair = Index.of(tiny_workload.schema, (1, 3))
+        ranked = heuristic.rank(tiny_workload, [single, pair])
+        assert ranked[0] == pair
+
+
+class TestH3Ratio:
+    def test_unaccessed_combinations_rank_last(
+        self, tiny_workload, tiny_optimizer
+    ):
+        heuristic = SelectivityFrequencyHeuristic(tiny_optimizer)
+        accessed = Index.of(tiny_workload.schema, (1, 3))
+        never = Index.of(tiny_workload.schema, (0, 2))  # not co-accessed
+        ranked = heuristic.rank(tiny_workload, [never, accessed])
+        assert ranked[0] == accessed
+        assert ranked[-1] == never
+
+    def test_balances_both_factors(self, tiny_workload, tiny_optimizer):
+        heuristic = SelectivityFrequencyHeuristic(tiny_optimizer)
+        candidates = single_attribute_candidates(tiny_workload)
+        ranked = heuristic.rank(tiny_workload, candidates)
+        schema = tiny_workload.schema
+        from repro.workload.stats import WorkloadStatistics
+
+        statistics = WorkloadStatistics(tiny_workload)
+        scores = []
+        for index in ranked:
+            g = statistics.occurrences(index.attributes[0])
+            s = schema.selectivity(index.attributes[0])
+            scores.append(float("inf") if g == 0 else s / g)
+        assert scores == sorted(scores)

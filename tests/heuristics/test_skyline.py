@@ -1,0 +1,64 @@
+"""Tests for skyline (dominated-candidate) pruning."""
+
+from __future__ import annotations
+
+from repro.heuristics.skyline import skyline_filter
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.index import Index
+
+
+class TestSkylineFilter:
+    def test_drops_candidates_applicable_to_no_query(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        orphan = Index.of(tiny_schema, (3, 0))  # REGION-leading pair
+        useful = Index.of(tiny_schema, (0,))
+        survivors = skyline_filter(
+            tiny_workload, [orphan, useful], tiny_optimizer
+        )
+        assert useful in survivors
+
+    def test_keeps_per_query_efficient_candidates(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        """A candidate that is the unique best for some query survives."""
+        best_for_point = Index.of(tiny_schema, (0,))
+        survivors = skyline_filter(
+            tiny_workload,
+            [best_for_point, Index.of(tiny_schema, (1,))],
+            tiny_optimizer,
+        )
+        assert best_for_point in survivors
+
+    def test_dominated_candidate_removed(
+        self, tiny_workload, tiny_optimizer, tiny_schema
+    ):
+        """(1,) dominates (1,3) nowhere... but (1,3,2) costs at least as
+        much memory as (1,3) with equal cost for the {1,3} query, so on
+        a workload where both apply only to that query it is dominated.
+        """
+        narrow = Index.of(tiny_schema, (1, 3))
+        wide = Index.of(tiny_schema, (1, 3, 2))
+        filtered = skyline_filter(
+            tiny_workload.filter(
+                lambda query: query.attributes == frozenset({1, 3})
+            ),
+            [narrow, wide],
+            tiny_optimizer,
+        )
+        assert narrow in filtered
+        assert wide not in filtered
+
+    def test_preserves_input_order(self, tiny_workload, tiny_optimizer):
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        survivors = skyline_filter(
+            tiny_workload, candidates, tiny_optimizer
+        )
+        positions = [candidates.index(index) for index in survivors]
+        assert positions == sorted(positions)
+
+    def test_idempotent(self, tiny_workload, tiny_optimizer):
+        candidates = syntactically_relevant_candidates(tiny_workload, 2)
+        once = skyline_filter(tiny_workload, candidates, tiny_optimizer)
+        twice = skyline_filter(tiny_workload, once, tiny_optimizer)
+        assert once == twice

@@ -1,0 +1,117 @@
+"""Tests for index configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.workload.query import Query
+
+
+@pytest.fixture
+def configuration(tiny_schema) -> IndexConfiguration:
+    return IndexConfiguration(
+        [
+            Index.of(tiny_schema, (0,)),
+            Index.of(tiny_schema, (1, 3)),
+            Index.of(tiny_schema, (4,)),
+        ]
+    )
+
+
+class TestSetBehaviour:
+    def test_len_iter_contains(self, configuration, tiny_schema):
+        assert len(configuration) == 3
+        assert Index.of(tiny_schema, (0,)) in configuration
+        assert Index.of(tiny_schema, (3, 1)) not in configuration
+        assert not configuration.is_empty
+        assert IndexConfiguration().is_empty
+
+    def test_rejects_duplicates(self, tiny_schema):
+        index = Index.of(tiny_schema, (0,))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            IndexConfiguration([index, index])
+
+    def test_equality_is_set_equality(self, tiny_schema):
+        first = IndexConfiguration([Index.of(tiny_schema, (0,))])
+        second = IndexConfiguration([Index.of(tiny_schema, (0,))])
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestDerivation:
+    def test_with_index(self, configuration, tiny_schema):
+        extended = configuration.with_index(Index.of(tiny_schema, (2,)))
+        assert len(extended) == 4
+        assert len(configuration) == 3  # original untouched
+
+    def test_with_index_rejects_present(self, configuration, tiny_schema):
+        with pytest.raises(ConfigurationError, match="already"):
+            configuration.with_index(Index.of(tiny_schema, (0,)))
+
+    def test_without_index(self, configuration, tiny_schema):
+        reduced = configuration.without_index(Index.of(tiny_schema, (0,)))
+        assert len(reduced) == 2
+
+    def test_without_index_rejects_absent(self, configuration, tiny_schema):
+        with pytest.raises(ConfigurationError, match="not in"):
+            configuration.without_index(Index.of(tiny_schema, (2,)))
+
+    def test_with_replaced_models_morphing(self, configuration, tiny_schema):
+        old = Index.of(tiny_schema, (1, 3))
+        new = old.extended_by(2)
+        morphed = configuration.with_replaced(old, new)
+        assert old not in morphed
+        assert new in morphed
+        assert len(morphed) == 3
+
+
+class TestQueriesAndMemory:
+    def test_applicable_to(self, configuration, tiny_schema):
+        query = Query(0, "ORDERS", frozenset({1, 2, 3}), 1.0)
+        applicable = configuration.applicable_to(query)
+        assert [index.attributes for index in applicable] == [(1, 3)]
+
+    def test_applicable_to_is_sorted(self, tiny_schema):
+        configuration = IndexConfiguration(
+            [
+                Index.of(tiny_schema, (3, 1)),
+                Index.of(tiny_schema, (1, 3)),
+                Index.of(tiny_schema, (1,)),
+            ]
+        )
+        query = Query(0, "ORDERS", frozenset({1, 3}), 1.0)
+        applicable = configuration.applicable_to(query)
+        assert [index.attributes for index in applicable] == [
+            (1,),
+            (1, 3),
+            (3, 1),
+        ]
+
+    def test_memory_matches_module(self, configuration, tiny_schema):
+        from repro.indexes.memory import configuration_memory
+
+        assert configuration.memory(tiny_schema) == configuration_memory(
+            tiny_schema, configuration
+        )
+
+    def test_indexes_on_table(self, configuration):
+        assert len(configuration.indexes_on_table("ORDERS")) == 2
+        assert len(configuration.indexes_on_table("ITEMS")) == 1
+        assert configuration.indexes_on_table("NOPE") == ()
+
+    def test_created_and_dropped_against(self, configuration, tiny_schema):
+        baseline = IndexConfiguration(
+            [Index.of(tiny_schema, (0,)), Index.of(tiny_schema, (2,))]
+        )
+        created = configuration.created_against(baseline)
+        dropped = configuration.dropped_against(baseline)
+        assert {index.attributes for index in created} == {(1, 3), (4,)}
+        assert {index.attributes for index in dropped} == {(2,)}
+
+    def test_label(self, configuration, tiny_schema):
+        label = configuration.label(tiny_schema)
+        assert "ORDERS(ID)" in label
+        assert "ITEMS(ID)" in label

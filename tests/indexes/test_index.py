@@ -1,0 +1,109 @@
+"""Tests for the multi-attribute index model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexDefinitionError
+from repro.indexes.index import Index, canonical_index
+from repro.workload.query import Query
+
+
+class TestIndexConstruction:
+    def test_of_validates_same_table(self, tiny_schema):
+        index = Index.of(tiny_schema, (1, 3))
+        assert index.table_name == "ORDERS"
+        assert index.attributes == (1, 3)
+
+    def test_of_rejects_cross_table(self, tiny_schema):
+        with pytest.raises(IndexDefinitionError, match="span"):
+            Index.of(tiny_schema, (0, 4))
+
+    def test_rejects_empty(self, tiny_schema):
+        with pytest.raises(IndexDefinitionError, match=">= 1"):
+            Index.of(tiny_schema, ())
+        with pytest.raises(IndexDefinitionError, match=">= 1"):
+            Index("T", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(IndexDefinitionError, match="duplicate"):
+            Index("T", (1, 2, 1))
+
+    def test_order_matters_for_identity(self):
+        assert Index("T", (1, 2)) != Index("T", (2, 1))
+
+    def test_extended_by(self):
+        index = Index("T", (1,))
+        extended = index.extended_by(2)
+        assert extended.attributes == (1, 2)
+        # Original unchanged.
+        assert index.attributes == (1,)
+
+    def test_extended_by_rejects_contained_attribute(self):
+        with pytest.raises(IndexDefinitionError, match="already"):
+            Index("T", (1, 2)).extended_by(1)
+
+
+class TestIndexProperties:
+    def test_width_and_leading(self):
+        index = Index("T", (3, 1, 2))
+        assert index.width == 3
+        assert index.leading_attribute == 3
+        assert index.attribute_set == frozenset({1, 2, 3})
+
+    def test_is_prefix_of(self):
+        short = Index("T", (1, 2))
+        long = Index("T", (1, 2, 3))
+        assert short.is_prefix_of(long)
+        assert not long.is_prefix_of(short)
+        assert short.is_prefix_of(short)
+        assert not Index("U", (1, 2)).is_prefix_of(long)
+
+    def test_label_with_and_without_schema(self, tiny_schema):
+        index = Index.of(tiny_schema, (1, 3))
+        assert index.label(tiny_schema) == "ORDERS(CUSTOMER, REGION)"
+        assert index.label() == "ORDERS(1, 3)"
+
+
+class TestQueryInterplay:
+    @pytest.fixture
+    def query(self) -> Query:
+        return Query(0, "T", frozenset({1, 2, 5}), 1.0)
+
+    def test_applicability_requires_leading_attribute(self, query):
+        assert Index("T", (1, 9)).is_applicable_to(query)
+        assert not Index("T", (9, 1)).is_applicable_to(query)
+        assert not Index("U", (1,)).is_applicable_to(query)
+
+    def test_usable_prefix_stops_at_first_miss(self, query):
+        assert Index("T", (1, 2, 9, 5)).usable_prefix(query) == (1, 2)
+        assert Index("T", (2, 5, 1)).usable_prefix(query) == (2, 5, 1)
+        assert Index("T", (9, 1)).usable_prefix(query) == ()
+        assert Index("U", (1,)).usable_prefix(query) == ()
+
+    def test_usable_prefix_length(self, query):
+        assert Index("T", (1, 2, 9)).usable_prefix_length(query) == 2
+
+    def test_extension_preserves_prefixes(self, query):
+        """Morphing never shrinks any query's usable prefix — the
+        invariant Algorithm 1's incremental accounting relies on."""
+        index = Index("T", (1, 2))
+        extended = index.extended_by(9)
+        assert extended.usable_prefix(query) == index.usable_prefix(query)
+
+
+class TestCanonicalIndex:
+    def test_orders_by_descending_distinct_count(self, tiny_schema):
+        # ORDERS: ID d=10000, CUSTOMER d=500, STATUS d=5, REGION d=20.
+        index = canonical_index(tiny_schema, {2, 0, 3})
+        assert index.attributes == (0, 3, 2)
+
+    def test_tie_breaks_by_attribute_id(self, tiny_schema):
+        # Construct a tie via two attrs with equal distinct counts.
+        from repro.workload.schema import Schema
+
+        schema = Schema.build(
+            {"T": (100, [("A", 10, 4), ("B", 10, 4)])}
+        )
+        index = canonical_index(schema, {1, 0})
+        assert index.attributes == (0, 1)

@@ -1,0 +1,75 @@
+"""Tests for the Appendix B(ii) index memory model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.indexes.index import Index
+from repro.indexes.memory import (
+    configuration_memory,
+    index_memory,
+    relative_budget,
+    single_attribute_total_memory,
+)
+
+
+class TestIndexMemory:
+    def test_matches_formula(self, tiny_schema):
+        # ORDERS has n = 10_000 rows; attribute 1 has a = 4 bytes.
+        index = Index.of(tiny_schema, (1,))
+        n = 10_000
+        expected = math.ceil(math.ceil(math.log2(n)) * n / 8) + 4 * n
+        assert index_memory(tiny_schema, index) == expected
+
+    def test_multi_attribute_adds_value_columns(self, tiny_schema):
+        single = index_memory(tiny_schema, Index.of(tiny_schema, (1,)))
+        double = index_memory(tiny_schema, Index.of(tiny_schema, (1, 3)))
+        # Attribute 3 (REGION) has a = 2 bytes over 10_000 rows.
+        assert double == single + 2 * 10_000
+
+    def test_memory_is_order_independent(self, tiny_schema):
+        forward = index_memory(tiny_schema, Index.of(tiny_schema, (1, 3)))
+        backward = index_memory(tiny_schema, Index.of(tiny_schema, (3, 1)))
+        assert forward == backward
+
+    def test_configuration_memory_sums(self, tiny_schema):
+        indexes = [
+            Index.of(tiny_schema, (0,)),
+            Index.of(tiny_schema, (4,)),
+        ]
+        assert configuration_memory(tiny_schema, indexes) == sum(
+            index_memory(tiny_schema, index) for index in indexes
+        )
+
+    def test_single_attribute_total(self, tiny_schema):
+        total = single_attribute_total_memory(tiny_schema)
+        per_attribute = [
+            index_memory(
+                tiny_schema, Index(a.table_name, (a.id,))
+            )
+            for a in tiny_schema.iter_attributes()
+        ]
+        assert total == sum(per_attribute)
+
+
+class TestRelativeBudget:
+    def test_eq_10(self, tiny_schema):
+        total = single_attribute_total_memory(tiny_schema)
+        assert relative_budget(tiny_schema, 0.0) == 0.0
+        assert relative_budget(tiny_schema, 0.5) == pytest.approx(
+            total / 2
+        )
+        assert relative_budget(tiny_schema, 1.0) == pytest.approx(total)
+
+    def test_rejects_negative_share(self, tiny_schema):
+        with pytest.raises(ValueError, match=">= 0"):
+            relative_budget(tiny_schema, -0.1)
+
+    def test_shares_above_one_are_allowed(self, tiny_schema):
+        """w > 1 is meaningful: multi-attribute indexes can exceed the
+        all-singles footprint (Fig. 5 sweeps w up to 1)."""
+        assert relative_budget(tiny_schema, 2.0) == pytest.approx(
+            2 * single_attribute_total_memory(tiny_schema)
+        )

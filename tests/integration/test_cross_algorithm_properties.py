@@ -1,0 +1,146 @@
+"""Cross-algorithm correctness properties (hypothesis).
+
+Relationships that must hold between the algorithms on *any* workload:
+
+* CoPhy with zero MIP gap equals the exhaustive optimum,
+* CoPhy (optimal over the candidate set) is never beaten by any
+  heuristic restricted to the same candidate set,
+* Extend's result does not depend on the order queries are listed in,
+* the swap pass never worsens any algorithm's selection.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cophy.exhaustive import exhaustive_best_selection
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.heuristics.performance import BenefitPerSizeHeuristic
+from repro.heuristics.rules import FrequencyHeuristic
+from repro.indexes.candidates import (
+    single_attribute_candidates,
+    syntactically_relevant_candidates,
+)
+from repro.indexes.memory import relative_budget
+from repro.workload.query import Query, Workload
+from repro.workload.schema import Schema
+
+
+@st.composite
+def tiny_problems(draw):
+    """Single-table workloads small enough for exhaustive search."""
+    attribute_count = draw(st.integers(min_value=3, max_value=5))
+    columns = [
+        (
+            f"A{position}",
+            draw(st.integers(min_value=2, max_value=5_000)),
+            draw(st.integers(min_value=1, max_value=8)),
+        )
+        for position in range(attribute_count)
+    ]
+    schema = Schema.build({"T": (5_000, columns)})
+    ids = list(range(attribute_count))
+    query_count = draw(st.integers(min_value=1, max_value=5))
+    queries = [
+        Query(
+            query_id,
+            "T",
+            frozenset(
+                draw(
+                    st.sets(
+                        st.sampled_from(ids),
+                        min_size=1,
+                        max_size=attribute_count,
+                    )
+                )
+            ),
+            float(draw(st.integers(min_value=1, max_value=1_000))),
+        )
+        for query_id in range(query_count)
+    ]
+    share = draw(st.sampled_from([0.2, 0.5, 1.0]))
+    return Workload(schema, queries), share
+
+
+def _optimizer(workload: Workload) -> WhatIfOptimizer:
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+
+
+class TestCoPhyOptimality:
+    @given(tiny_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_zero_gap_cophy_equals_exhaustive(self, problem):
+        workload, share = problem
+        optimizer = _optimizer(workload)
+        candidates = single_attribute_candidates(workload)
+        budget = relative_budget(workload.schema, share)
+        solver_result = CoPhyAlgorithm(optimizer, mip_gap=0.0).select(
+            workload, budget, candidates
+        )
+        truth = exhaustive_best_selection(
+            workload, budget, candidates, optimizer
+        )
+        assert solver_result.total_cost == pytest.approx(
+            truth.total_cost, rel=1e-9
+        )
+
+    @given(tiny_problems())
+    @settings(max_examples=15, deadline=None)
+    def test_cophy_never_beaten_by_heuristics_on_same_candidates(
+        self, problem
+    ):
+        workload, share = problem
+        optimizer = _optimizer(workload)
+        candidates = syntactically_relevant_candidates(workload, 2)
+        budget = relative_budget(workload.schema, share)
+        optimal = CoPhyAlgorithm(optimizer, mip_gap=0.0).select(
+            workload, budget, candidates
+        )
+        for heuristic in (
+            FrequencyHeuristic(optimizer),
+            BenefitPerSizeHeuristic(optimizer),
+        ):
+            result = heuristic.select(workload, budget, candidates)
+            assert optimal.total_cost <= result.total_cost * (1 + 1e-9)
+
+
+class TestExtendInvariance:
+    @given(tiny_problems(), st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_result_independent_of_query_order(self, problem, rng):
+        workload, share = problem
+        budget = relative_budget(workload.schema, share)
+        baseline_result = ExtendAlgorithm(_optimizer(workload)).select(
+            workload, budget
+        )
+
+        shuffled_queries = list(workload.queries)
+        rng.shuffle(shuffled_queries)
+        shuffled = Workload(workload.schema, shuffled_queries)
+        shuffled_result = ExtendAlgorithm(_optimizer(shuffled)).select(
+            shuffled, budget
+        )
+        assert shuffled_result.configuration == (
+            baseline_result.configuration
+        )
+        assert shuffled_result.total_cost == pytest.approx(
+            baseline_result.total_cost
+        )
+
+    @given(tiny_problems())
+    @settings(max_examples=15, deadline=None)
+    def test_extend_never_worse_than_no_indexes(self, problem):
+        workload, share = problem
+        optimizer = _optimizer(workload)
+        budget = relative_budget(workload.schema, share)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        assert result.total_cost <= optimizer.workload_cost(
+            workload, ()
+        ) * (1 + 1e-12)

@@ -1,0 +1,218 @@
+"""Cross-module integration tests.
+
+These tests exercise whole pipelines — workload generation through
+selection through evaluation — and check the paper's qualitative claims
+at test-friendly scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.core.frontier import frontier_from_steps
+from repro.core.localsearch import swap_local_search
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.engine.columnstore import ColumnStoreDatabase
+from repro.engine.measured import MeasuredCostSource, evaluate_configuration
+from repro.heuristics.performance import BenefitPerSizeHeuristic
+from repro.heuristics.rules import FrequencyHeuristic
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.memory import relative_budget
+from repro.workload.generator import GeneratorConfig, generate_workload
+from repro.workload.tpcc import tpcc_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A moderate Appendix-C workload (N = 30, Q = 45)."""
+    return generate_workload(
+        GeneratorConfig(
+            tables=3,
+            attributes_per_table=10,
+            queries_per_table=15,
+            seed=77,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def optimizer(workload):
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+
+
+class TestQualityOrdering:
+    """The paper's headline orderings must hold end to end."""
+
+    def test_h6_close_to_cophy_all(self, workload, optimizer):
+        candidates = syntactically_relevant_candidates(workload)
+        budget = relative_budget(workload.schema, 0.4)
+        optimal = CoPhyAlgorithm(optimizer, mip_gap=0.001).select(
+            workload, budget, candidates
+        )
+        extend = ExtendAlgorithm(optimizer).select(workload, budget)
+        swap = swap_local_search(
+            workload, optimizer, extend, budget, candidates
+        )
+        assert swap.total_cost <= optimal.total_cost * 1.10
+
+    def test_h6_beats_rule_based_heuristics(self, workload, optimizer):
+        candidates = syntactically_relevant_candidates(workload)
+        budget = relative_budget(workload.schema, 0.4)
+        extend = ExtendAlgorithm(optimizer).select(workload, budget)
+        h1 = FrequencyHeuristic(optimizer).select(
+            workload, budget, candidates
+        )
+        assert extend.total_cost <= h1.total_cost
+
+    def test_cophy_quality_degrades_with_small_candidate_sets(
+        self, workload, optimizer
+    ):
+        from repro.indexes.candidates import candidates_h1m
+        from repro.workload.stats import WorkloadStatistics
+
+        statistics = WorkloadStatistics(workload)
+        budget = relative_budget(workload.schema, 0.4)
+        small = CoPhyAlgorithm(optimizer).select(
+            workload, budget, candidates_h1m(statistics, 8)
+        )
+        full = CoPhyAlgorithm(optimizer).select(
+            workload,
+            budget,
+            syntactically_relevant_candidates(workload),
+        )
+        assert full.total_cost <= small.total_cost
+
+    def test_h6_solve_time_far_below_cophy_all(self, workload, optimizer):
+        candidates = syntactically_relevant_candidates(workload)
+        budget = relative_budget(workload.schema, 0.4)
+        cophy = CoPhyAlgorithm(optimizer).select(
+            workload, budget, candidates
+        )
+        extend = ExtendAlgorithm(optimizer).select(workload, budget)
+        # Generous bound: the point is the order of magnitude.
+        assert extend.runtime_seconds < cophy.runtime_seconds * 10
+
+
+class TestWhatIfEconomy:
+    def test_h6_uses_fewer_calls_than_cophy_table(self, workload):
+        """Section III-A: H6's call count beats the up-front cost table
+        once |I| is large relative to N."""
+        candidates = syntactically_relevant_candidates(workload)
+        budget = relative_budget(workload.schema, 0.4)
+
+        extend_optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(workload.schema))
+        )
+        ExtendAlgorithm(extend_optimizer).select(workload, budget)
+
+        table_optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(workload.schema))
+        )
+        table_optimizer.cost_table(workload, candidates)
+
+        assert extend_optimizer.calls < table_optimizer.calls
+
+
+class TestFrontierShape:
+    def test_extend_frontier_is_convexish(self, workload, optimizer):
+        """Property 4 (Section V): step ratios decrease — diminishing
+        returns along the construction."""
+        budget = relative_budget(workload.schema, 1.0)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        ratios = [step.ratio for step in result.steps]
+        # Allow small local violations (affected-query sets differ), but
+        # the overall trend must be non-increasing.
+        violations = sum(
+            1
+            for earlier, later in zip(ratios, ratios[1:])
+            if later > earlier * 1.01
+        )
+        assert violations <= len(ratios) // 4
+
+    def test_frontier_serves_every_budget(self, workload, optimizer):
+        budget = relative_budget(workload.schema, 1.0)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        frontier = frontier_from_steps(
+            result.steps,
+            initial_cost=optimizer.workload_cost(workload, ()),
+        )
+        previous = float("inf")
+        for share in (0.0, 0.2, 0.4, 0.8, 1.0):
+            cost = frontier.cost_at(
+                relative_budget(workload.schema, share)
+            )
+            assert cost <= previous
+            previous = cost
+
+
+class TestMeasuredPipeline:
+    def test_selection_on_measured_costs_improves_execution(self):
+        workload = generate_workload(
+            GeneratorConfig(
+                tables=2,
+                attributes_per_table=6,
+                queries_per_table=8,
+                seed=21,
+            )
+        )
+        database = ColumnStoreDatabase(
+            workload.schema, seed=9, row_cap=20_000
+        )
+        source = MeasuredCostSource(database)
+        optimizer = WhatIfOptimizer(source)
+        budget = relative_budget(workload.schema, 0.5)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        baseline = evaluate_configuration(
+            source, workload, type(result.configuration)()
+        )
+        tuned = evaluate_configuration(
+            source, workload, result.configuration
+        )
+        assert tuned.total_cost < baseline.total_cost
+
+    def test_h5_on_measured_costs(self):
+        workload = generate_workload(
+            GeneratorConfig(
+                tables=2,
+                attributes_per_table=6,
+                queries_per_table=8,
+                seed=21,
+            )
+        )
+        database = ColumnStoreDatabase(
+            workload.schema, seed=9, row_cap=20_000
+        )
+        optimizer = WhatIfOptimizer(MeasuredCostSource(database))
+        candidates = syntactically_relevant_candidates(workload, 3)
+        budget = relative_budget(workload.schema, 0.5)
+        result = BenefitPerSizeHeuristic(optimizer).select(
+            workload, budget, candidates
+        )
+        assert result.memory <= budget
+
+
+class TestTpccCaseStudy:
+    def test_construction_mirrors_fig1_structure(self):
+        """On TPC-C, the algorithm creates single-attribute indexes
+        first and then morphs them into the multi-attribute indexes of
+        Fig. 1 — including a wide (>= 2 attributes) CUSTOMER index."""
+        workload = tpcc_workload()
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(workload.schema))
+        )
+        budget = relative_budget(workload.schema, 0.6)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        customer_indexes = result.configuration.indexes_on_table(
+            "CUSTOMER"
+        )
+        assert any(index.width >= 2 for index in customer_indexes)
+        from repro.core.steps import StepKind
+
+        kinds = [step.kind for step in result.steps]
+        assert kinds[0] is StepKind.NEW_SINGLE
+        assert StepKind.EXTEND in kinds

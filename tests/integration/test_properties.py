@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frontier import Frontier, FrontierPoint
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.indexes.index import Index, canonical_index
+from repro.indexes.memory import index_memory
+from repro.workload.query import Query, Workload
+from repro.workload.schema import Schema
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+ROWS = 10_000
+
+
+@st.composite
+def schemas(draw) -> Schema:
+    """Single-table schemas with 3–8 attributes of random statistics."""
+    attribute_count = draw(st.integers(min_value=3, max_value=8))
+    columns = []
+    for position in range(attribute_count):
+        distinct = draw(st.integers(min_value=1, max_value=ROWS))
+        size = draw(st.integers(min_value=1, max_value=16))
+        columns.append((f"A{position}", distinct, size))
+    return Schema.build({"T": (ROWS, columns)})
+
+
+@st.composite
+def schema_and_query(draw):
+    schema = draw(schemas())
+    ids = [a.id for a in schema.iter_attributes()]
+    subset = draw(
+        st.sets(st.sampled_from(ids), min_size=1, max_size=len(ids))
+    )
+    frequency = draw(
+        st.floats(min_value=0.5, max_value=1e4, allow_nan=False)
+    )
+    return schema, Query(0, "T", frozenset(subset), frequency)
+
+
+@st.composite
+def schema_query_and_index(draw):
+    schema, query = draw(schema_and_query())
+    ids = [a.id for a in schema.iter_attributes()]
+    width = draw(st.integers(min_value=1, max_value=len(ids)))
+    permutation = draw(st.permutations(ids))
+    return schema, query, Index.of(schema, tuple(permutation[:width]))
+
+
+# ----------------------------------------------------------------------
+# Cost model properties
+# ----------------------------------------------------------------------
+
+
+class TestCostModelProperties:
+    @given(schema_query_and_index())
+    @settings(max_examples=200, deadline=None)
+    def test_index_cost_never_exceeds_sequential(self, data):
+        schema, query, index = data
+        model = CostModel(schema)
+        assert model.index_cost(query, index) <= (
+            model.sequential_cost(query) * (1 + 1e-12)
+        )
+
+    @given(schema_query_and_index())
+    @settings(max_examples=200, deadline=None)
+    def test_extension_is_monotone(self, data):
+        """f_j(k·i) <= f_j(k) for every appended attribute i."""
+        schema, query, index = data
+        model = CostModel(schema)
+        base = model.index_cost(query, index)
+        for attribute in schema.iter_attributes():
+            if attribute.id in index.attributes:
+                continue
+            extended = index.extended_by(attribute.id)
+            assert model.index_cost(query, extended) <= base * (1 + 1e-12)
+
+    @given(schema_query_and_index())
+    @settings(max_examples=100, deadline=None)
+    def test_costs_are_positive_and_finite(self, data):
+        schema, query, index = data
+        model = CostModel(schema)
+        for cost in (
+            model.sequential_cost(query),
+            model.index_cost(query, index),
+            model.multi_index_cost(query, [index]),
+        ):
+            assert cost > 0
+            assert math.isfinite(cost)
+
+    @given(schema_query_and_index())
+    @settings(max_examples=100, deadline=None)
+    def test_multi_index_never_worse_than_single(self, data):
+        schema, query, index = data
+        model = CostModel(schema)
+        assert model.multi_index_cost(query, [index]) <= (
+            model.index_cost(query, index) * (1 + 1e-12)
+        )
+
+
+# ----------------------------------------------------------------------
+# Memory model properties
+# ----------------------------------------------------------------------
+
+
+class TestMemoryProperties:
+    @given(schema_query_and_index())
+    @settings(max_examples=100, deadline=None)
+    def test_memory_positive_and_grows_under_extension(self, data):
+        schema, _, index = data
+        base = index_memory(schema, index)
+        assert base > 0
+        for attribute in schema.iter_attributes():
+            if attribute.id in index.attributes:
+                continue
+            extended = index.extended_by(attribute.id)
+            assert index_memory(schema, extended) > base
+
+    @given(schemas(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_memory_is_permutation_invariant(self, schema, data):
+        ids = [a.id for a in schema.iter_attributes()]
+        subset = data.draw(
+            st.sets(st.sampled_from(ids), min_size=1, max_size=len(ids))
+        )
+        permutation = data.draw(st.permutations(sorted(subset)))
+        canonical = canonical_index(schema, subset)
+        other = Index.of(schema, tuple(permutation))
+        assert index_memory(schema, canonical) == index_memory(
+            schema, other
+        )
+
+
+# ----------------------------------------------------------------------
+# Frontier properties
+# ----------------------------------------------------------------------
+
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=50,
+)
+
+
+class TestFrontierProperties:
+    @given(points_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_frontier_is_sorted_and_strictly_improving(self, raw_points):
+        frontier = Frontier(
+            FrontierPoint(memory=m, cost=c) for m, c in raw_points
+        )
+        memories = [p.memory for p in frontier.points]
+        costs = [p.cost for p in frontier.points]
+        assert memories == sorted(memories)
+        assert all(b < a for a, b in zip(costs, costs[1:]))
+
+    @given(points_strategy, st.floats(min_value=0, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_cost_at_is_monotone_in_budget(self, raw_points, budget):
+        frontier = Frontier(
+            FrontierPoint(memory=m, cost=c) for m, c in raw_points
+        )
+        assert frontier.cost_at(budget) >= frontier.cost_at(budget * 2)
+
+    @given(points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_dominates_every_input_point(self, raw_points):
+        frontier = Frontier(
+            FrontierPoint(memory=m, cost=c) for m, c in raw_points
+        )
+        for memory, cost in raw_points:
+            assert frontier.cost_at(memory) <= cost
+
+
+# ----------------------------------------------------------------------
+# Extend invariants on random workloads
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_workloads(draw):
+    schema = draw(schemas())
+    ids = [a.id for a in schema.iter_attributes()]
+    query_count = draw(st.integers(min_value=1, max_value=8))
+    queries = []
+    for query_id in range(query_count):
+        subset = draw(
+            st.sets(st.sampled_from(ids), min_size=1, max_size=len(ids))
+        )
+        frequency = draw(st.integers(min_value=1, max_value=1000))
+        queries.append(
+            Query(query_id, "T", frozenset(subset), float(frequency))
+        )
+    return Workload(schema, queries)
+
+
+class TestExtendProperties:
+    @given(random_workloads(), st.floats(min_value=0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_budget_respected_and_cost_consistent(self, workload, share):
+        from repro.core.extend import ExtendAlgorithm
+        from repro.indexes.memory import relative_budget
+
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(workload.schema))
+        )
+        budget = relative_budget(workload.schema, share)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        assert result.memory <= budget
+        fresh = optimizer.workload_cost(workload, result.configuration)
+        assert result.total_cost == pytest.approx(fresh, rel=1e-9)
+
+    @given(random_workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_steps_never_increase_cost(self, workload):
+        from repro.core.extend import ExtendAlgorithm
+        from repro.indexes.memory import relative_budget
+
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(workload.schema))
+        )
+        budget = relative_budget(workload.schema, 1.0)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        for step in result.steps:
+            assert step.cost_after <= step.cost_before * (1 + 1e-12)

@@ -1,0 +1,265 @@
+"""Tests for workloads with UPDATE/INSERT queries (index maintenance).
+
+The paper's model explicitly allows updates and inserts; their cost makes
+over-indexing a real trade-off.  These tests verify the maintenance
+plumbing end to end: the cost model, the what-if facade, Extend's move
+penalties, CoPhy's linear maintenance terms, and the heuristics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.exceptions import EngineError
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.index import Index
+from repro.indexes.memory import relative_budget
+from repro.workload.query import Query, QueryKind, Workload
+
+
+@pytest.fixture
+def htap_workload(tiny_schema) -> Workload:
+    """Reads plus a heavy update stream on ORDERS and inserts on ITEMS."""
+    return Workload(
+        tiny_schema,
+        [
+            Query(0, "ORDERS", frozenset({0}), 100.0),
+            Query(1, "ORDERS", frozenset({1, 3}), 50.0),
+            Query(
+                2, "ORDERS", frozenset({2}), 500.0, kind=QueryKind.UPDATE
+            ),
+            Query(3, "ITEMS", frozenset({4}), 200.0),
+            Query(
+                4,
+                "ITEMS",
+                frozenset({4, 5, 6}),
+                300.0,
+                kind=QueryKind.INSERT,
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def htap_optimizer(htap_workload) -> WhatIfOptimizer:
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(htap_workload.schema))
+    )
+
+
+class TestMaintenanceCostModel:
+    def test_select_queries_pay_nothing(self, tiny_schema):
+        model = CostModel(tiny_schema)
+        query = Query(0, "ORDERS", frozenset({0}), 1.0)
+        index = Index.of(tiny_schema, (0,))
+        assert model.maintenance_cost(query, index) == 0.0
+
+    def test_update_pays_only_for_touched_indexes(self, tiny_schema):
+        model = CostModel(tiny_schema)
+        update = Query(
+            0, "ORDERS", frozenset({2}), 1.0, kind=QueryKind.UPDATE
+        )
+        touched = Index.of(tiny_schema, (2,))
+        untouched = Index.of(tiny_schema, (0,))
+        assert model.maintenance_cost(update, touched) > 0
+        assert model.maintenance_cost(update, untouched) == 0.0
+
+    def test_insert_pays_for_every_table_index(self, tiny_schema):
+        model = CostModel(tiny_schema)
+        insert = Query(
+            0, "ITEMS", frozenset({4}), 1.0, kind=QueryKind.INSERT
+        )
+        for attributes in ((4,), (5,), (5, 6)):
+            index = Index.of(tiny_schema, attributes)
+            assert model.maintenance_cost(insert, index) > 0
+
+    def test_other_table_is_free(self, tiny_schema):
+        model = CostModel(tiny_schema)
+        insert = Query(
+            0, "ITEMS", frozenset({4}), 1.0, kind=QueryKind.INSERT
+        )
+        assert model.maintenance_cost(
+            insert, Index.of(tiny_schema, (0,))
+        ) == 0.0
+
+    def test_wider_indexes_cost_more_to_maintain(self, tiny_schema):
+        model = CostModel(tiny_schema)
+        update = Query(
+            0, "ORDERS", frozenset({1}), 1.0, kind=QueryKind.UPDATE
+        )
+        narrow = Index.of(tiny_schema, (1,))
+        wide = Index.of(tiny_schema, (1, 3))
+        assert model.maintenance_cost(update, wide) > (
+            model.maintenance_cost(update, narrow)
+        )
+
+    def test_insert_never_benefits_from_indexes(self, tiny_schema):
+        model = CostModel(tiny_schema)
+        insert = Query(
+            0, "ITEMS", frozenset({4}), 1.0, kind=QueryKind.INSERT
+        )
+        index = Index.of(tiny_schema, (4,))
+        assert model.index_cost(insert, index) == (
+            model.sequential_cost(insert)
+        )
+
+
+class TestFacadeWithWrites:
+    def test_configuration_cost_adds_maintenance(
+        self, htap_workload, htap_optimizer, tiny_schema
+    ):
+        update = htap_workload.query(2)
+        index = Index.of(tiny_schema, (2,))
+        alone = htap_optimizer.sequential_cost(update)
+        with_index = htap_optimizer.configuration_cost(update, [index])
+        # The index speeds up locating but charges maintenance; both
+        # effects must be present.
+        maintenance = htap_optimizer.maintenance_cost(update, index)
+        locate = htap_optimizer.index_cost(update, index)
+        assert with_index == pytest.approx(locate + maintenance)
+        assert maintenance > 0
+        assert locate < alone
+
+    def test_workload_cost_includes_write_penalties(
+        self, htap_workload, htap_optimizer, tiny_schema
+    ):
+        items_index = Index.of(tiny_schema, (5,))
+        empty = htap_optimizer.workload_cost(htap_workload, ())
+        indexed = htap_optimizer.workload_cost(
+            htap_workload, (items_index,)
+        )
+        # (5,) helps no query but the insert stream pays maintenance.
+        assert indexed > empty
+
+
+class TestExtendWithWrites:
+    def test_never_builds_maintenance_only_indexes(
+        self, htap_workload, htap_optimizer
+    ):
+        budget = relative_budget(htap_workload.schema, 1.0)
+        result = ExtendAlgorithm(htap_optimizer).select(
+            htap_workload, budget
+        )
+        # Every selected index must earn more on reads than it costs on
+        # writes (otherwise its net move benefit was negative).
+        for index in result.configuration:
+            without = htap_optimizer.workload_cost(
+                htap_workload,
+                result.configuration.without_index(index),
+            )
+            assert without >= result.total_cost - 1e-6
+
+    def test_total_cost_matches_fresh_evaluation(
+        self, htap_workload, htap_optimizer
+    ):
+        budget = relative_budget(htap_workload.schema, 1.0)
+        result = ExtendAlgorithm(htap_optimizer).select(
+            htap_workload, budget
+        )
+        fresh = htap_optimizer.workload_cost(
+            htap_workload, result.configuration
+        )
+        assert result.total_cost == pytest.approx(fresh, rel=1e-9)
+
+    def test_update_heavy_workload_gets_fewer_indexes(self, tiny_schema):
+        """Cranking update frequency must shrink the selection."""
+
+        def workload_with_update_weight(weight: float) -> Workload:
+            return Workload(
+                tiny_schema,
+                [
+                    Query(0, "ORDERS", frozenset({0}), 100.0),
+                    Query(1, "ORDERS", frozenset({1, 3}), 50.0),
+                    Query(2, "ORDERS", frozenset({2}), 10.0),
+                    Query(
+                        3,
+                        "ORDERS",
+                        frozenset({0, 1, 2, 3}),
+                        weight,
+                        kind=QueryKind.UPDATE,
+                    ),
+                ],
+            )
+
+        def selected_count(weight: float) -> int:
+            workload = workload_with_update_weight(weight)
+            optimizer = WhatIfOptimizer(
+                AnalyticalCostSource(CostModel(tiny_schema))
+            )
+            budget = relative_budget(tiny_schema, 1.0)
+            return len(
+                ExtendAlgorithm(optimizer)
+                .select(workload, budget)
+                .configuration
+            )
+
+        assert selected_count(1e9) <= selected_count(1.0)
+
+
+class TestCoPhyWithWrites:
+    def test_matches_exhaustive_with_maintenance(
+        self, htap_workload, htap_optimizer
+    ):
+        from repro.cophy.exhaustive import exhaustive_best_selection
+        from repro.indexes.candidates import single_attribute_candidates
+
+        candidates = single_attribute_candidates(htap_workload)
+        budget = relative_budget(htap_workload.schema, 1.0)
+        solver = CoPhyAlgorithm(htap_optimizer, mip_gap=0.0)
+        result = solver.select(htap_workload, budget, candidates)
+        truth = exhaustive_best_selection(
+            htap_workload, budget, candidates, htap_optimizer
+        )
+        assert result.total_cost == pytest.approx(
+            truth.total_cost, rel=1e-9
+        )
+
+    def test_heavy_writes_shrink_cophy_selection(self, tiny_schema):
+        reads = [
+            Query(0, "ORDERS", frozenset({0}), 100.0),
+            Query(1, "ORDERS", frozenset({1, 3}), 50.0),
+        ]
+        heavy_writes = reads + [
+            Query(
+                2,
+                "ORDERS",
+                frozenset({0, 1, 3}),
+                1e9,
+                kind=QueryKind.UPDATE,
+            )
+        ]
+        budget = relative_budget(tiny_schema, 1.0)
+
+        def cophy_count(queries) -> int:
+            workload = Workload(tiny_schema, queries)
+            optimizer = WhatIfOptimizer(
+                AnalyticalCostSource(CostModel(tiny_schema))
+            )
+            candidates = syntactically_relevant_candidates(workload, 2)
+            return len(
+                CoPhyAlgorithm(optimizer)
+                .select(workload, budget, candidates)
+                .configuration
+            )
+
+        assert cophy_count(heavy_writes) < cophy_count(reads)
+
+
+class TestMeasuredSourceGuards:
+    def test_rejects_write_queries(self, tiny_schema):
+        from repro.engine.columnstore import ColumnStoreDatabase
+        from repro.engine.measured import MeasuredCostSource
+
+        database = ColumnStoreDatabase(
+            tiny_schema, seed=1, row_cap=1_000
+        )
+        source = MeasuredCostSource(database)
+        update = Query(
+            0, "ORDERS", frozenset({2}), 1.0, kind=QueryKind.UPDATE
+        )
+        with pytest.raises(EngineError, match="SELECT"):
+            source.query_cost(update, None)

@@ -1,0 +1,128 @@
+"""Tests for the high-level IndexAdvisor facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import IndexAdvisor
+from repro.exceptions import BudgetError, ExperimentError
+from repro.workload.query import Query
+
+
+@pytest.fixture
+def advisor(tiny_schema) -> IndexAdvisor:
+    return IndexAdvisor(tiny_schema)
+
+
+_SQL = [
+    ("SELECT * FROM ORDERS WHERE ID = ?", 100.0),
+    ("SELECT * FROM ORDERS WHERE CUSTOMER = ? AND REGION = ?", 50.0),
+    ("SELECT * FROM ITEMS WHERE ID = ?", 200.0),
+]
+
+
+class TestInputCoercion:
+    def test_accepts_sql_templates(self, advisor):
+        recommendation = advisor.recommend(_SQL, budget_share=0.5)
+        assert recommendation.workload.query_count == 3
+        assert recommendation.indexes
+
+    def test_accepts_plain_sql_strings(self, advisor):
+        recommendation = advisor.recommend(
+            ["SELECT * FROM ORDERS WHERE ID = ?"], budget_share=0.5
+        )
+        assert recommendation.workload.query_count == 1
+
+    def test_accepts_workload(self, advisor, tiny_workload):
+        recommendation = advisor.recommend(
+            tiny_workload, budget_share=0.5
+        )
+        assert recommendation.workload is tiny_workload
+
+    def test_accepts_query_objects(self, advisor):
+        queries = [Query(0, "ORDERS", frozenset({0}), 10.0)]
+        recommendation = advisor.recommend(queries, budget_share=0.5)
+        assert recommendation.workload.query_count == 1
+
+    def test_rejects_empty(self, advisor):
+        with pytest.raises(ExperimentError, match="empty"):
+            advisor.recommend([], budget_share=0.5)
+
+
+class TestBudgets:
+    def test_requires_exactly_one_budget(self, advisor):
+        with pytest.raises(BudgetError, match="exactly one"):
+            advisor.recommend(_SQL)
+        with pytest.raises(BudgetError, match="exactly one"):
+            advisor.recommend(_SQL, budget_share=0.5, budget_bytes=100)
+
+    def test_absolute_budget_respected(self, advisor):
+        recommendation = advisor.recommend(_SQL, budget_bytes=1_000_000)
+        assert recommendation.result.memory <= 1_000_000
+
+    def test_rejects_negative_bytes(self, advisor):
+        with pytest.raises(BudgetError, match="budget_bytes"):
+            advisor.recommend(_SQL, budget_bytes=-1)
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            "extend",
+            "extend+swap",
+            "cophy",
+            "h1",
+            "h2",
+            "h3",
+            "h4",
+            "h4+skyline",
+            "h5",
+        ],
+    )
+    def test_all_algorithms_produce_recommendations(
+        self, advisor, algorithm
+    ):
+        recommendation = advisor.recommend(
+            _SQL, budget_share=0.5, algorithm=algorithm
+        )
+        assert recommendation.result.memory <= (
+            recommendation.result.budget
+        )
+        assert recommendation.report.baseline_cost > 0
+
+    def test_rejects_unknown_algorithm(self, advisor):
+        with pytest.raises(ExperimentError, match="unknown algorithm"):
+            advisor.recommend(_SQL, budget_share=0.5, algorithm="magic")
+
+    def test_swap_never_worse_than_plain(self, advisor):
+        plain = advisor.recommend(
+            _SQL, budget_share=0.3, algorithm="extend"
+        )
+        swapped = advisor.recommend(
+            _SQL, budget_share=0.3, algorithm="extend+swap"
+        )
+        assert swapped.result.total_cost <= (
+            plain.result.total_cost * (1 + 1e-9)
+        )
+
+
+class TestRecommendation:
+    def test_report_is_renderable(self, advisor):
+        recommendation = advisor.recommend(_SQL, budget_share=0.5)
+        text = recommendation.report.render(recommendation.workload)
+        assert "# Index advisor report" in text
+
+    def test_indexes_are_labels(self, advisor):
+        recommendation = advisor.recommend(_SQL, budget_share=0.5)
+        assert all(
+            "(" in label and label.endswith(")")
+            for label in recommendation.indexes
+        )
+
+    def test_shared_cache_across_calls(self, advisor):
+        advisor.recommend(_SQL, budget_share=0.5)
+        calls_after_first = advisor.optimizer.calls
+        advisor.recommend(_SQL, budget_share=0.5)
+        # Identical second run: everything cached.
+        assert advisor.optimizer.calls == calls_after_first

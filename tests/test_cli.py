@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAdvise:
+    def test_default_extend_run(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--tables", "2",
+                "--attributes", "6",
+                "--queries", "6",
+                "--budget", "0.3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Recommended indexes:" in output
+        assert "H6" in output
+
+    def test_tpcc_workload(self, capsys):
+        exit_code = main(
+            ["advise", "--workload", "tpcc", "--budget", "0.4"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "STOCK" in output or "CUSTOMER" in output
+
+    def test_cophy_algorithm(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--tables", "2",
+                "--attributes", "6",
+                "--queries", "6",
+                "--algorithm", "cophy",
+                "--candidates", "12",
+                "--budget", "0.3",
+            ]
+        )
+        assert exit_code == 0
+        assert "CoPhy" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "algorithm", ["h1", "h2", "h3", "h4", "h4s", "h5"]
+    )
+    def test_heuristics(self, capsys, algorithm):
+        exit_code = main(
+            [
+                "advise",
+                "--tables", "2",
+                "--attributes", "5",
+                "--queries", "5",
+                "--algorithm", algorithm,
+                "--budget", "0.3",
+            ]
+        )
+        assert exit_code == 0
+        assert "Recommended indexes:" in capsys.readouterr().out
+
+    def test_trace_flag(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--tables", "2",
+                "--attributes", "5",
+                "--queries", "5",
+                "--budget", "0.3",
+                "--trace",
+            ]
+        )
+        assert exit_code == 0
+        assert "Construction trace:" in capsys.readouterr().out
+
+    def test_erp_workload(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--workload", "erp",
+                "--scale", "0.02",
+                "--budget", "0.05",
+            ]
+        )
+        assert exit_code == 0
+        assert "Recommended indexes:" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_dispatches_to_experiment_module(self, capsys):
+        exit_code = main(["experiment", "fig6"])
+        assert exit_code == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["advise", "--algorithm", "magic"])

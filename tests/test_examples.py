@@ -1,0 +1,71 @@
+"""Smoke tests: the example scripts must run and produce sane output.
+
+Examples are user-facing documentation; a broken example is a
+documentation bug.  Each fast example is executed in-process with its
+output captured.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    """Execute an example script as ``__main__`` and return its stdout."""
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(_EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = _run_example("quickstart.py", capsys)
+        assert "Selected" in output
+        assert "Construction trace" in output
+        assert "Improvement factor" in output
+
+    def test_tpcc_case_study(self, capsys):
+        output = _run_example("tpcc_case_study.py", capsys)
+        assert "TPC-C query templates" in output
+        assert "morphing" in output
+        assert "extend" in output  # at least one morph step happened
+
+    def test_sql_advisor(self, capsys):
+        output = _run_example("sql_advisor.py", capsys)
+        assert "# Index advisor report" in output
+        assert "## Selected indexes" in output
+        assert "write maintenance" in output
+
+    def test_dynamic_workload(self, capsys):
+        output = _run_example("dynamic_workload.py", capsys)
+        assert "Best strategy" in output
+        assert "switches" in output
+
+    @pytest.mark.slow
+    def test_end_to_end_engine(self, capsys):
+        output = _run_example("end_to_end_engine.py", capsys)
+        assert "measured cost" in output
+        assert "Best configuration" in output
+
+    @pytest.mark.slow
+    def test_frontier_comparison(self, capsys):
+        output = _run_example("frontier_comparison.py", capsys)
+        assert "CoPhy/I_max" in output
+
+    @pytest.mark.slow
+    def test_enterprise_advisor(self, capsys):
+        output = _run_example(
+            "enterprise_advisor.py", capsys, ["--scale", "0.05"]
+        )
+        assert "ERP workload" in output
+        assert "Best:" in output

@@ -1,0 +1,61 @@
+"""Tests for the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    CostModelError,
+    EngineError,
+    ExperimentError,
+    IndexDefinitionError,
+    ReproError,
+    SchemaError,
+    SolverError,
+    SolverTimeoutError,
+    WorkloadError,
+)
+
+_ALL_ERRORS = [
+    BudgetError,
+    ConfigurationError,
+    CostModelError,
+    EngineError,
+    ExperimentError,
+    IndexDefinitionError,
+    SchemaError,
+    SolverError,
+    SolverTimeoutError,
+    WorkloadError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", _ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        assert issubclass(error_type, Exception)
+
+    def test_timeout_is_a_solver_error(self):
+        assert issubclass(SolverTimeoutError, SolverError)
+
+    def test_single_except_clause_catches_library_errors(self):
+        """The documented catch-all usage pattern."""
+        from repro.workload.schema import Schema
+
+        with pytest.raises(ReproError):
+            Schema([])
+
+    @pytest.mark.parametrize("error_type", _ALL_ERRORS)
+    def test_errors_carry_messages(self, error_type):
+        error = error_type("something specific went wrong")
+        assert "something specific" in str(error)
+
+    def test_siblings_do_not_catch_each_other(self):
+        with pytest.raises(SchemaError):
+            try:
+                raise SchemaError("schema")
+            except WorkloadError:  # pragma: no cover - must not match
+                pytest.fail("WorkloadError must not catch SchemaError")

@@ -1,0 +1,144 @@
+"""Tests for JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extend import ExtendAlgorithm
+from repro.exceptions import ReproError
+from repro.indexes.configuration import IndexConfiguration
+from repro.indexes.index import Index
+from repro.indexes.memory import relative_budget
+from repro.persistence import (
+    configuration_from_dict,
+    configuration_to_dict,
+    load_json,
+    result_from_dict,
+    result_to_dict,
+    save_json,
+    schema_from_dict,
+    schema_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workload.query import Query, QueryKind, Workload
+
+
+class TestSchemaRoundTrip:
+    def test_exact(self, tiny_schema):
+        assert schema_from_dict(schema_to_dict(tiny_schema)) == tiny_schema
+
+    def test_preserves_attribute_ids(self, tiny_schema):
+        restored = schema_from_dict(schema_to_dict(tiny_schema))
+        for attribute in tiny_schema.iter_attributes():
+            clone = restored.attribute(attribute.id)
+            assert clone.qualified_name == attribute.qualified_name
+
+    def test_generated_schema(self, small_workload):
+        schema = small_workload.schema
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+
+class TestWorkloadRoundTrip:
+    def test_exact(self, tiny_workload):
+        restored = workload_from_dict(workload_to_dict(tiny_workload))
+        assert restored.query_count == tiny_workload.query_count
+        for original, clone in zip(tiny_workload, restored):
+            assert original == clone
+
+    def test_preserves_kinds(self, tiny_schema):
+        workload = Workload(
+            tiny_schema,
+            [
+                Query(0, "ORDERS", frozenset({0}), 10.0),
+                Query(
+                    1,
+                    "ORDERS",
+                    frozenset({2}),
+                    5.0,
+                    kind=QueryKind.UPDATE,
+                ),
+                Query(
+                    2,
+                    "ITEMS",
+                    frozenset({4, 5}),
+                    2.0,
+                    kind=QueryKind.INSERT,
+                ),
+            ],
+        )
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert [query.kind for query in restored] == [
+            QueryKind.SELECT,
+            QueryKind.UPDATE,
+            QueryKind.INSERT,
+        ]
+
+
+class TestConfigurationRoundTrip:
+    def test_exact(self, tiny_schema):
+        configuration = IndexConfiguration(
+            [
+                Index.of(tiny_schema, (1, 3)),
+                Index.of(tiny_schema, (0,)),
+                Index.of(tiny_schema, (4,)),
+            ]
+        )
+        restored = configuration_from_dict(
+            configuration_to_dict(configuration)
+        )
+        assert restored == configuration
+
+    def test_empty(self):
+        empty = IndexConfiguration()
+        assert configuration_from_dict(
+            configuration_to_dict(empty)
+        ) == empty
+
+    def test_attribute_order_preserved(self, tiny_schema):
+        configuration = IndexConfiguration(
+            [Index.of(tiny_schema, (3, 1))]
+        )
+        restored = configuration_from_dict(
+            configuration_to_dict(configuration)
+        )
+        (index,) = restored
+        assert index.attributes == (3, 1)
+
+
+class TestResultRoundTrip:
+    def test_exact_except_steps(self, tiny_workload, tiny_optimizer):
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.algorithm == result.algorithm
+        assert restored.configuration == result.configuration
+        assert restored.total_cost == result.total_cost
+        assert restored.memory == result.memory
+        assert restored.budget == result.budget
+        assert restored.whatif_calls == result.whatif_calls
+        assert restored.steps == ()  # trace is not persisted
+
+
+class TestFiles:
+    def test_save_and_load(self, tiny_workload, tmp_path):
+        path = str(tmp_path / "workload.json")
+        save_json(path, workload_to_dict(tiny_workload))
+        restored = workload_from_dict(load_json(path))
+        assert restored.query_count == tiny_workload.query_count
+
+    def test_version_check(self, tiny_schema):
+        data = schema_to_dict(tiny_schema)
+        data["version"] = 99
+        with pytest.raises(ReproError, match="version"):
+            schema_from_dict(data)
+
+    def test_files_are_deterministic(self, tiny_workload, tmp_path):
+        first = str(tmp_path / "a.json")
+        second = str(tmp_path / "b.json")
+        save_json(first, workload_to_dict(tiny_workload))
+        save_json(second, workload_to_dict(tiny_workload))
+        with open(first) as a, open(second) as b:
+            assert a.read() == b.read()

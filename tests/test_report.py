@@ -1,0 +1,120 @@
+"""Tests for the advisor report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extend import ExtendAlgorithm
+from repro.exceptions import ExperimentError
+from repro.indexes.memory import relative_budget
+from repro.report import build_report
+
+
+@pytest.fixture
+def selection(tiny_workload, tiny_optimizer):
+    budget = relative_budget(tiny_workload.schema, 0.5)
+    return ExtendAlgorithm(tiny_optimizer).select(tiny_workload, budget)
+
+
+class TestBuildReport:
+    def test_improvement_factor(self, tiny_workload, tiny_optimizer, selection):
+        report = build_report(tiny_workload, tiny_optimizer, selection)
+        assert report.improvement_factor > 1.0
+        assert report.baseline_cost == pytest.approx(
+            tiny_optimizer.workload_cost(tiny_workload, ())
+        )
+
+    def test_one_entry_per_selected_index(
+        self, tiny_workload, tiny_optimizer, selection
+    ):
+        report = build_report(tiny_workload, tiny_optimizer, selection)
+        assert len(report.indexes) == len(selection.configuration)
+        assert {entry.index for entry in report.indexes} == set(
+            selection.configuration
+        )
+
+    def test_entries_sorted_by_marginal_benefit(
+        self, tiny_workload, tiny_optimizer, selection
+    ):
+        report = build_report(tiny_workload, tiny_optimizer, selection)
+        benefits = [entry.marginal_benefit for entry in report.indexes]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_marginal_benefits_nonnegative(
+        self, tiny_workload, tiny_optimizer, selection
+    ):
+        report = build_report(tiny_workload, tiny_optimizer, selection)
+        for entry in report.indexes:
+            assert entry.marginal_benefit >= -1e-9
+
+    def test_serves_references_real_queries(
+        self, tiny_workload, tiny_optimizer, selection
+    ):
+        report = build_report(tiny_workload, tiny_optimizer, selection)
+        valid_ids = {query.query_id for query in tiny_workload}
+        for entry in report.indexes:
+            assert set(entry.serves) <= valid_ids
+
+    def test_residual_queries_sorted_and_capped(
+        self, tiny_workload, tiny_optimizer, selection
+    ):
+        report = build_report(
+            tiny_workload, tiny_optimizer, selection, hot_spot_count=3
+        )
+        assert len(report.residual_queries) == 3
+        costs = [cost for _, cost in report.residual_queries]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_rejects_negative_hot_spot_count(
+        self, tiny_workload, tiny_optimizer, selection
+    ):
+        with pytest.raises(ExperimentError, match="hot_spot_count"):
+            build_report(
+                tiny_workload,
+                tiny_optimizer,
+                selection,
+                hot_spot_count=-1,
+            )
+
+
+class TestRender:
+    def test_render_contains_key_sections(
+        self, tiny_workload, tiny_optimizer, selection
+    ):
+        report = build_report(tiny_workload, tiny_optimizer, selection)
+        text = report.render(tiny_workload)
+        assert "# Index advisor report" in text
+        assert "## Selected indexes" in text
+        assert "x better" in text
+        for entry in report.indexes:
+            assert entry.index.label(tiny_workload.schema) in text
+
+    def test_render_mentions_maintenance_for_write_workloads(
+        self, tiny_schema
+    ):
+        from repro.cost.model import CostModel
+        from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+        from repro.workload.query import Query, QueryKind, Workload
+
+        workload = Workload(
+            tiny_schema,
+            [
+                Query(0, "ORDERS", frozenset({0}), 100.0),
+                Query(
+                    1,
+                    "ORDERS",
+                    frozenset({0}),
+                    50.0,
+                    kind=QueryKind.UPDATE,
+                ),
+            ],
+        )
+        optimizer = WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(tiny_schema))
+        )
+        budget = relative_budget(tiny_schema, 1.0)
+        result = ExtendAlgorithm(optimizer).select(workload, budget)
+        if result.configuration.is_empty:
+            pytest.skip("maintenance outweighed all read benefits")
+        report = build_report(workload, optimizer, result)
+        assert "write maintenance" in report.render(workload)

@@ -1,0 +1,174 @@
+"""Tests for workload compression."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.compression import (
+    frequency_share,
+    merge_duplicate_templates,
+    top_k_expensive,
+)
+from repro.workload.query import Query, QueryKind, Workload
+
+
+class TestMergeDuplicates:
+    def test_merges_identical_templates(self, tiny_schema):
+        workload = Workload(
+            tiny_schema,
+            [
+                Query(0, "ORDERS", frozenset({0}), 10.0),
+                Query(1, "ORDERS", frozenset({0}), 15.0),
+                Query(2, "ORDERS", frozenset({1}), 5.0),
+            ],
+        )
+        merged = merge_duplicate_templates(workload)
+        assert merged.query_count == 2
+        assert merged.total_frequency() == pytest.approx(30.0)
+
+    def test_distinguishes_kinds(self, tiny_schema):
+        workload = Workload(
+            tiny_schema,
+            [
+                Query(0, "ORDERS", frozenset({0}), 10.0),
+                Query(
+                    1,
+                    "ORDERS",
+                    frozenset({0}),
+                    15.0,
+                    kind=QueryKind.UPDATE,
+                ),
+            ],
+        )
+        merged = merge_duplicate_templates(workload)
+        assert merged.query_count == 2
+
+    def test_lossless_for_selection_cost(
+        self, tiny_workload, tiny_optimizer
+    ):
+        """Merging cannot change any configuration's workload cost."""
+        from repro.indexes.candidates import single_attribute_candidates
+
+        merged = merge_duplicate_templates(tiny_workload)
+        for index in single_attribute_candidates(tiny_workload):
+            original = tiny_optimizer.workload_cost(
+                tiny_workload, (index,)
+            )
+            compressed = tiny_optimizer.workload_cost(merged, (index,))
+            assert compressed == pytest.approx(original)
+
+    def test_noop_without_duplicates(self, tiny_workload):
+        merged = merge_duplicate_templates(tiny_workload)
+        assert merged.query_count == tiny_workload.query_count
+
+
+class TestTopKExpensive:
+    def test_keeps_k_templates(self, small_workload, small_optimizer):
+        compressed = top_k_expensive(small_workload, small_optimizer, 5)
+        assert compressed.query_count == 5
+
+    def test_keeps_the_expensive_ones(self, small_workload, small_optimizer):
+        compressed = top_k_expensive(small_workload, small_optimizer, 3)
+        kept_ids = {query.query_id for query in compressed}
+        costs = {
+            query.query_id: query.frequency
+            * small_optimizer.sequential_cost(query)
+            for query in small_workload
+        }
+        threshold = min(costs[query_id] for query_id in kept_ids)
+        dropped = [
+            cost
+            for query_id, cost in costs.items()
+            if query_id not in kept_ids
+        ]
+        assert all(cost <= threshold for cost in dropped)
+
+    def test_k_larger_than_workload_keeps_all(
+        self, tiny_workload, tiny_optimizer
+    ):
+        compressed = top_k_expensive(tiny_workload, tiny_optimizer, 100)
+        assert compressed.query_count == tiny_workload.query_count
+
+    def test_rejects_zero_k(self, tiny_workload, tiny_optimizer):
+        with pytest.raises(WorkloadError, match="k"):
+            top_k_expensive(tiny_workload, tiny_optimizer, 0)
+
+
+class TestFrequencyShare:
+    def test_full_share_keeps_everything(
+        self, small_workload, small_optimizer
+    ):
+        compressed = frequency_share(
+            small_workload, small_optimizer, 1.0
+        )
+        assert compressed.query_count == small_workload.query_count
+
+    def test_small_share_keeps_few(self, small_workload, small_optimizer):
+        compressed = frequency_share(
+            small_workload, small_optimizer, 0.3
+        )
+        assert compressed.query_count < small_workload.query_count
+
+    def test_covers_requested_share(self, small_workload, small_optimizer):
+        compressed = frequency_share(
+            small_workload, small_optimizer, 0.6
+        )
+        total = sum(
+            query.frequency * small_optimizer.sequential_cost(query)
+            for query in small_workload
+        )
+        covered = sum(
+            query.frequency * small_optimizer.sequential_cost(query)
+            for query in compressed
+        )
+        assert covered >= 0.6 * total
+
+    @pytest.mark.parametrize("share", [0.0, -0.5, 1.5])
+    def test_rejects_bad_shares(
+        self, tiny_workload, tiny_optimizer, share
+    ):
+        with pytest.raises(WorkloadError, match="share"):
+            frequency_share(tiny_workload, tiny_optimizer, share)
+
+
+class TestCompressionSelectionQuality:
+    def test_selection_on_compressed_workload_still_beats_no_indexes(
+        self, small_workload, small_optimizer
+    ):
+        """Lossy compression costs real post-indexing quality (the
+        dropped "cheap" templates dominate once the expensive ones are
+        indexed — the very criticism Section VI relays), but the
+        compressed selection must still capture the bulk of the
+        improvement over having no indexes at all."""
+        from repro.core.extend import ExtendAlgorithm
+        from repro.indexes.memory import relative_budget
+
+        budget = relative_budget(small_workload.schema, 0.4)
+        compressed_workload = frequency_share(
+            small_workload, small_optimizer, 0.9
+        )
+        compressed = ExtendAlgorithm(small_optimizer).select(
+            compressed_workload, budget
+        )
+        no_indexes = small_optimizer.workload_cost(small_workload, ())
+        compressed_quality = small_optimizer.workload_cost(
+            small_workload, compressed.configuration
+        )
+        assert compressed_quality <= no_indexes * 0.05
+
+    def test_merge_compression_is_exactly_lossless(
+        self, small_workload, small_optimizer
+    ):
+        """Duplicate-merging changes nothing about the selection."""
+        from repro.core.extend import ExtendAlgorithm
+        from repro.indexes.memory import relative_budget
+
+        budget = relative_budget(small_workload.schema, 0.4)
+        full = ExtendAlgorithm(small_optimizer).select(
+            small_workload, budget
+        )
+        merged = ExtendAlgorithm(small_optimizer).select(
+            merge_duplicate_templates(small_workload), budget
+        )
+        assert merged.total_cost == pytest.approx(full.total_cost)

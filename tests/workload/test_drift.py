@@ -1,0 +1,89 @@
+"""Tests for workload drift."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.drift import DriftConfig, drifting_workloads
+
+
+class TestDriftConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"frequency_volatility": -0.1},
+            {"churn_rate": -0.1},
+            {"churn_rate": 1.5},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(WorkloadError):
+            DriftConfig(**kwargs)
+
+
+class TestDriftingWorkloads:
+    def test_epoch_zero_is_base(self, small_workload):
+        snapshots = drifting_workloads(
+            small_workload, DriftConfig(epochs=4, seed=1)
+        )
+        assert snapshots[0] is small_workload
+        assert len(snapshots) == 4
+
+    def test_schema_is_shared(self, small_workload):
+        snapshots = drifting_workloads(
+            small_workload, DriftConfig(epochs=3, seed=1)
+        )
+        for snapshot in snapshots:
+            assert snapshot.schema is small_workload.schema
+
+    def test_deterministic(self, small_workload):
+        config = DriftConfig(epochs=5, seed=7)
+        first = drifting_workloads(small_workload, config)
+        second = drifting_workloads(small_workload, config)
+        for a, b in zip(first, second):
+            assert [q.attributes for q in a] == [
+                q.attributes for q in b
+            ]
+            assert [q.frequency for q in a] == [q.frequency for q in b]
+
+    def test_zero_drift_keeps_workload_identical(self, small_workload):
+        snapshots = drifting_workloads(
+            small_workload,
+            DriftConfig(
+                epochs=3, frequency_volatility=0.0, churn_rate=0.0
+            ),
+        )
+        for snapshot in snapshots[1:]:
+            assert [q.attributes for q in snapshot] == [
+                q.attributes for q in small_workload
+            ]
+            assert [q.frequency for q in snapshot] == [
+                q.frequency for q in small_workload
+            ]
+
+    def test_churn_replaces_templates(self, small_workload):
+        snapshots = drifting_workloads(
+            small_workload,
+            DriftConfig(
+                epochs=2, frequency_volatility=0.0, churn_rate=1.0,
+                seed=3,
+            ),
+        )
+        base_sets = [q.attributes for q in snapshots[0]]
+        churned_sets = [q.attributes for q in snapshots[1]]
+        assert base_sets != churned_sets
+        # Same template count and table assignment.
+        assert len(churned_sets) == len(base_sets)
+        for old, new in zip(snapshots[0], snapshots[1]):
+            assert old.table_name == new.table_name
+
+    def test_frequencies_stay_positive(self, small_workload):
+        snapshots = drifting_workloads(
+            small_workload,
+            DriftConfig(epochs=6, frequency_volatility=2.0, seed=5),
+        )
+        for snapshot in snapshots:
+            for query in snapshot:
+                assert query.frequency >= 1.0

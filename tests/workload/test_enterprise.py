@@ -1,0 +1,93 @@
+"""Tests for the synthetic enterprise (ERP) workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    generate_enterprise_workload,
+)
+
+
+class TestEnterpriseConfig:
+    def test_scaling(self):
+        config = EnterpriseConfig(scale=0.1)
+        assert config.scaled_tables == 50
+        assert config.scaled_attributes == 420
+        assert config.scaled_templates == 227
+
+    def test_paper_scale_defaults(self):
+        config = EnterpriseConfig()
+        assert config.scaled_tables == 500
+        assert config.scaled_attributes == 4_204
+        assert config.scaled_templates == 2_271
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scale": 0.0},
+            {"scale": 1.5},
+            {"tables": 0},
+            {"total_attributes": 5, "tables": 10},
+            {"query_templates": 0},
+            {"min_rows": 0},
+            {"max_rows": 10, "min_rows": 100},
+            {"point_access_share": 1.5},
+            {"point_access_share": 0.9, "medium_share": 0.5},
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(WorkloadError):
+            EnterpriseConfig(**kwargs)
+
+
+class TestEnterpriseWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_enterprise_workload(
+            EnterpriseConfig(scale=0.08, seed=500)
+        )
+
+    def test_counts_match_scaled_config(self, workload):
+        config = EnterpriseConfig(scale=0.08, seed=500)
+        assert workload.schema.table_count == config.scaled_tables
+        assert workload.schema.attribute_count == config.scaled_attributes
+        assert workload.query_count == config.scaled_templates
+
+    def test_row_counts_in_published_range(self, workload):
+        for table in workload.schema.tables:
+            assert 350_000 <= table.row_count <= 1_500_000_000
+
+    def test_point_access_dominates(self, workload):
+        narrow = sum(
+            1 for query in workload if query.attribute_count <= 3
+        )
+        assert narrow / workload.query_count > 0.6
+
+    def test_has_analytical_tail(self, workload):
+        widths = [query.attribute_count for query in workload]
+        assert max(widths) >= 5
+
+    def test_frequencies_are_heavy_tailed(self, workload):
+        frequencies = sorted(
+            (query.frequency for query in workload), reverse=True
+        )
+        top_decile = sum(frequencies[: len(frequencies) // 10])
+        assert top_decile > 0.5 * sum(frequencies)
+
+    def test_deterministic(self):
+        config = EnterpriseConfig(scale=0.05, seed=1)
+        first = generate_enterprise_workload(config)
+        second = generate_enterprise_workload(config)
+        assert [q.attributes for q in first] == [
+            q.attributes for q in second
+        ]
+
+    def test_total_executions_scale(self):
+        config = EnterpriseConfig(scale=0.05, seed=2)
+        workload = generate_enterprise_workload(config)
+        total = workload.total_frequency()
+        expected = config.total_executions * config.scale
+        assert expected * 0.5 <= total <= expected * 2.0

@@ -1,0 +1,123 @@
+"""Tests for the Appendix C workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.generator import (
+    GeneratorConfig,
+    generate_workload,
+    round_half_up,
+)
+
+
+class TestRounding:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [(0.5, 1), (1.5, 2), (2.5, 3), (0.49, 0), (10.0, 10), (-0.5, 0)],
+    )
+    def test_half_up(self, value, expected):
+        assert round_half_up(value) == expected
+
+
+class TestGeneratorConfig:
+    def test_defaults_match_paper(self):
+        config = GeneratorConfig()
+        assert config.tables == 10
+        assert config.attributes_per_table == 50
+        assert config.effective_queries_per_table == 50  # Q_t = N_t
+        assert config.total_queries == 500
+        assert config.total_attributes == 500
+
+    def test_explicit_queries_per_table(self):
+        config = GeneratorConfig(queries_per_table=200)
+        assert config.effective_queries_per_table == 200
+        assert config.total_queries == 2_000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tables": 0},
+            {"attributes_per_table": 0},
+            {"queries_per_table": 0},
+            {"rows_step": 0},
+            {"max_query_attributes": 0},
+            {"max_frequency": 0},
+            {"value_size_range": (0, 4)},
+            {"value_size_range": (4, 2)},
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(**kwargs)
+
+
+class TestGeneratedWorkload:
+    def test_shape_matches_config(self):
+        workload = generate_workload(
+            GeneratorConfig(tables=3, attributes_per_table=5, seed=1)
+        )
+        assert workload.schema.table_count == 3
+        assert workload.schema.attribute_count == 15
+        assert workload.query_count == 15  # Q_t = N_t = 5
+
+    def test_row_counts_scale_with_table_number(self):
+        workload = generate_workload(GeneratorConfig(tables=3, seed=1))
+        rows = [table.row_count for table in workload.schema.tables]
+        assert rows == [1_000_000, 2_000_000, 3_000_000]
+
+    def test_deterministic_for_fixed_seed(self):
+        config = GeneratorConfig(tables=2, attributes_per_table=6, seed=99)
+        first = generate_workload(config)
+        second = generate_workload(config)
+        assert first.schema == second.schema
+        assert [q.attributes for q in first] == [
+            q.attributes for q in second
+        ]
+        assert [q.frequency for q in first] == [
+            q.frequency for q in second
+        ]
+
+    def test_different_seeds_differ(self):
+        first = generate_workload(GeneratorConfig(tables=2, seed=1))
+        second = generate_workload(GeneratorConfig(tables=2, seed=2))
+        assert [q.attributes for q in first] != [
+            q.attributes for q in second
+        ]
+
+    def test_statistics_within_specified_ranges(self):
+        config = GeneratorConfig(tables=2, seed=5)
+        workload = generate_workload(config)
+        for table in workload.schema.tables:
+            for attribute in table.attributes:
+                assert 1 <= attribute.distinct_values <= table.row_count
+                assert 1 <= attribute.value_size <= 8
+        for query in workload:
+            assert 1 <= query.attribute_count <= config.max_query_attributes
+            assert 1 <= query.frequency <= config.max_frequency
+
+    def test_attribute_access_is_skewed_to_high_positions(self):
+        """The (·)^0.3 transform makes late attributes much hotter —
+        and Appendix C gives those the smallest distinct counts, setting
+        up the frequency-vs-selectivity tension of Fig. 2."""
+        workload = generate_workload(GeneratorConfig(seed=3))
+        first_half = 0
+        second_half = 0
+        for query in workload:
+            table = workload.schema.table(query.table_name)
+            for attribute_id in query.attributes:
+                position = workload.schema.attribute(attribute_id).position
+                if position < table.attribute_count // 2:
+                    first_half += 1
+                else:
+                    second_half += 1
+        assert second_half > 3 * first_half
+
+    def test_distinct_counts_decay_with_position(self):
+        """Appendix C draws larger d_i upper bounds for early positions."""
+        workload = generate_workload(GeneratorConfig(seed=11))
+        table = workload.schema.tables[0]
+        early = [a.distinct_values for a in table.attributes[:10]]
+        late = [a.distinct_values for a in table.attributes[-10:]]
+        assert sum(early) > sum(late)

@@ -1,0 +1,69 @@
+"""Tests for workload statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.stats import WorkloadStatistics
+
+
+class TestWorkloadStatistics:
+    def test_occurrences_are_frequency_weighted(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload)
+        # Attribute 1 (CUSTOMER) appears in queries 1 (b=50) and 2 (b=25).
+        assert statistics.occurrences(1) == pytest.approx(75.0)
+        # Attribute 0 (ORDERS.ID) only in query 0 (b=100).
+        assert statistics.occurrences(0) == pytest.approx(100.0)
+
+    def test_unaccessed_attribute_has_zero_occurrences(self, tiny_workload):
+        assert WorkloadStatistics(tiny_workload).occurrences(999) == 0.0
+
+    def test_average_attributes_per_query(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload)
+        # |q| = 1, 2, 3, 1, 1, 2 over six queries.
+        assert statistics.average_attributes_per_query == pytest.approx(
+            10 / 6
+        )
+
+    def test_occurrence_ranking_descends(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload)
+        ranking = statistics.occurrence_ranking()
+        values = [statistics.occurrences(a) for a in ranking]
+        assert values == sorted(values, reverse=True)
+        assert set(ranking) == statistics.accessed_attribute_ids
+
+    def test_combination_occurrences(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload)
+        pairs = statistics.combination_occurrences(2)
+        # {1, 3} co-accessed by queries 1 (b=50) and 2 (b=25).
+        assert pairs[frozenset({1, 3})] == pytest.approx(75.0)
+        # {1, 2} only in query 2 (b=25).
+        assert pairs[frozenset({1, 2})] == pytest.approx(25.0)
+
+    def test_triple_combination(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload)
+        triples = statistics.combination_occurrences(3)
+        assert triples[frozenset({1, 2, 3})] == pytest.approx(25.0)
+
+    def test_accessed_combinations(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload)
+        assert frozenset({5, 6}) in statistics.accessed_combinations(2)
+        assert frozenset({0, 4}) not in statistics.accessed_combinations(2)
+
+    def test_width_bounds_enforced(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload, 2)
+        with pytest.raises(ValueError, match="width"):
+            statistics.combination_occurrences(3)
+        with pytest.raises(ValueError, match="width"):
+            statistics.accessed_combinations(0)
+
+    def test_invalid_max_width(self, tiny_workload):
+        with pytest.raises(ValueError, match="max_combination_width"):
+            WorkloadStatistics(tiny_workload, 0)
+
+    def test_combined_selectivity(self, tiny_workload):
+        statistics = WorkloadStatistics(tiny_workload)
+        expected = (1 / 500) * (1 / 20)
+        assert statistics.combined_selectivity([1, 3]) == pytest.approx(
+            expected
+        )

@@ -1,0 +1,83 @@
+"""Tests for the TPC-C workload (Fig. 1 case study input)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.tpcc import tpcc_schema, tpcc_workload
+
+
+class TestTpccSchema:
+    def test_standard_cardinalities(self):
+        schema = tpcc_schema(warehouses=10)
+        assert schema.table("WAREHOUSE").row_count == 10
+        assert schema.table("DISTRICT").row_count == 100
+        assert schema.table("CUSTOMER").row_count == 300_000
+        assert schema.table("ITEM").row_count == 100_000
+        assert schema.table("STOCK").row_count == 1_000_000
+        assert schema.table("ORDER_LINE").row_count == 3_000_000
+
+    def test_scales_with_warehouses(self):
+        small = tpcc_schema(warehouses=1)
+        large = tpcc_schema(warehouses=100)
+        assert large.table("STOCK").row_count == (
+            100 * small.table("STOCK").row_count
+        )
+        # ITEM is warehouse-independent.
+        assert large.table("ITEM").row_count == small.table(
+            "ITEM"
+        ).row_count
+
+    def test_rejects_zero_warehouses(self):
+        with pytest.raises(WorkloadError, match="warehouse"):
+            tpcc_schema(warehouses=0)
+
+    def test_distinct_counts_bounded_by_rows(self):
+        schema = tpcc_schema(warehouses=1)
+        for attribute in schema.iter_attributes():
+            assert attribute.distinct_values <= schema.row_count(
+                attribute.id
+            )
+
+
+class TestTpccWorkload:
+    def test_template_count_matches_fig1(self):
+        workload = tpcc_workload()
+        assert workload.query_count == 11
+
+    def test_frequencies_reflect_transaction_mix(self):
+        workload = tpcc_workload(transactions=100_000)
+        by_table: dict[str, float] = {}
+        for query in workload:
+            by_table[query.table_name] = (
+                by_table.get(query.table_name, 0.0) + query.frequency
+            )
+        # New-Order item lookups (~10 per transaction) dominate ITEM.
+        assert by_table["ITEM"] == pytest.approx(450_000.0)
+        # STOCK sees New-Order probes plus Stock-Level scans.
+        assert by_table["STOCK"] == pytest.approx(450_000 + 80_000)
+
+    def test_every_query_single_table(self):
+        workload = tpcc_workload()
+        for query in workload:
+            tables = {
+                workload.schema.attribute(a).table_name
+                for a in query.attributes
+            }
+            assert tables == {query.table_name}
+
+    def test_customer_templates_share_prefix_attributes(self):
+        """The by-id and by-last-name lookups share (W_ID, D_ID) —
+        the structure that makes morphing valuable in Fig. 1."""
+        workload = tpcc_workload()
+        customer_queries = workload.queries_of_table("CUSTOMER")
+        assert len(customer_queries) == 2
+        shared = customer_queries[0].attributes & customer_queries[
+            1
+        ].attributes
+        assert len(shared) == 2
+
+    def test_rejects_zero_transactions(self):
+        with pytest.raises(WorkloadError, match="transaction"):
+            tpcc_workload(transactions=0)
