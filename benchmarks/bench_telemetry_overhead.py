@@ -1,0 +1,92 @@
+"""Benchmark: telemetry overhead on the Fig. 2 Extend run.
+
+The telemetry hooks must be effectively free when disabled: every
+metric/event emission in the hot path is guarded by
+``telemetry.enabled`` and the no-op tracer hands out a shared reusable
+context manager.  This benchmark times the scaled Fig. 2 Extend sweep
+with ``NULL_TELEMETRY`` against a fully enabled session and asserts the
+disabled run is within 5 % of the enabled one (best-of-N, interleaved
+so neither variant benefits from cache warm-up order), and that both
+variants select the identical configuration via the identical steps.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.indexes.memory import relative_budget
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.workload.generator import GeneratorConfig, generate_workload
+
+_ROUNDS = 5
+_BUDGET_SHARE = 0.5
+
+
+def _fig2_workload():
+    """The Fig. 2 Appendix C workload at CI-friendly scale."""
+    return generate_workload(
+        GeneratorConfig(
+            tables=1,
+            attributes_per_table=20,
+            queries_per_table=30,
+            seed=1909,
+        )
+    )
+
+
+def _run_once(workload, budget, telemetry):
+    """One cold Extend run (fresh facade, so no cross-run cache)."""
+    optimizer = WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+    algorithm = ExtendAlgorithm(optimizer, telemetry=telemetry)
+    started = time.perf_counter()
+    result = algorithm.select(workload, budget)
+    return time.perf_counter() - started, result
+
+
+def test_disabled_telemetry_overhead_under_5_percent():
+    workload = _fig2_workload()
+    budget = relative_budget(workload.schema, _BUDGET_SHARE)
+
+    disabled_times: list[float] = []
+    enabled_times: list[float] = []
+    disabled_result = enabled_result = None
+    for _ in range(_ROUNDS):
+        elapsed, disabled_result = _run_once(
+            workload, budget, NULL_TELEMETRY
+        )
+        disabled_times.append(elapsed)
+        elapsed, enabled_result = _run_once(
+            workload, budget, Telemetry()
+        )
+        enabled_times.append(elapsed)
+
+    assert disabled_result.configuration == enabled_result.configuration
+    assert [
+        (step.kind, step.index_after) for step in disabled_result.steps
+    ] == [
+        (step.kind, step.index_after) for step in enabled_result.steps
+    ]
+
+    disabled = min(disabled_times)
+    enabled = min(enabled_times)
+    assert disabled <= enabled * 1.05, (
+        f"disabled telemetry run ({disabled:.4f}s) more than 5% slower "
+        f"than enabled run ({enabled:.4f}s)"
+    )
+
+
+def test_enabled_run_records_expected_telemetry():
+    """Sanity: the enabled variant actually produced spans and events."""
+    workload = _fig2_workload()
+    budget = relative_budget(workload.schema, _BUDGET_SHARE)
+    telemetry = Telemetry()
+    _, result = _run_once(workload, budget, telemetry)
+    snapshot = telemetry.snapshot()
+    assert not snapshot.empty
+    assert any(span.name == "extend.step" for span in snapshot.spans)
+    assert len(snapshot.chosen_events()) == len(result.steps)

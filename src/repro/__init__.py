@@ -80,6 +80,7 @@ from repro.exceptions import (
     SchemaError,
     SolverError,
     SolverTimeoutError,
+    TelemetryError,
     WorkloadError,
 )
 from repro.indexes import (
@@ -100,6 +101,17 @@ from repro.indexes import (
 )
 from repro.advisor import IndexAdvisor, Recommendation
 from repro.report import AdvisorReport, IndexReport, build_report
+from repro.telemetry import (
+    InMemorySink,
+    JsonLinesSink,
+    MetricsRegistry,
+    NO_OP_TRACER,
+    NULL_TELEMETRY,
+    StepEvent,
+    Telemetry,
+    TelemetrySnapshot,
+    Tracer,
+)
 from repro.workload import (
     Attribute,
     DriftConfig,
@@ -164,10 +176,15 @@ __all__ = [
     "Index",
     "IndexConfiguration",
     "IndexDefinitionError",
+    "InMemorySink",
     "InteractionReport",
+    "JsonLinesSink",
     "LPSize",
     "MeasuredCostSource",
+    "MetricsRegistry",
+    "NO_OP_TRACER",
     "NO_RECONFIGURATION",
+    "NULL_TELEMETRY",
     "PerformanceHeuristic",
     "Query",
     "QueryExecutor",
@@ -181,8 +198,13 @@ __all__ = [
     "SelectivityHeuristic",
     "SolverError",
     "SolverTimeoutError",
+    "StepEvent",
     "StepKind",
     "Table",
+    "Telemetry",
+    "TelemetryError",
+    "TelemetrySnapshot",
+    "Tracer",
     "WhatIfOptimizer",
     "WhatIfStatistics",
     "Workload",

@@ -41,6 +41,11 @@ from repro.heuristics.rules import (
 from repro.indexes.candidates import syntactically_relevant_candidates
 from repro.indexes.memory import relative_budget
 from repro.report import AdvisorReport, build_report
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetrySnapshot,
+)
 from repro.workload.query import Query, Workload
 from repro.workload.schema import Schema
 from repro.workload.sql import workload_from_sql
@@ -67,6 +72,9 @@ class Recommendation:
     workload: Workload
     result: SelectionResult
     report: AdvisorReport
+    telemetry: TelemetrySnapshot = TelemetrySnapshot()
+    """Metrics, spans, and step events of this run (empty when the
+    advisor ran with disabled telemetry)."""
 
     @property
     def indexes(self) -> list[str]:
@@ -89,11 +97,22 @@ class IndexAdvisor:
     cost estimates.
     """
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> None:
         self._schema = schema
         self._optimizer = WhatIfOptimizer(
             AnalyticalCostSource(CostModel(schema))
         )
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The advisor-wide observability session."""
+        return self._telemetry
 
     @property
     def schema(self) -> Schema:
@@ -183,16 +202,33 @@ class IndexAdvisor:
             )
         resolved = self._coerce_workload(workload)
         budget = self._coerce_budget(budget_share, budget_bytes)
+        telemetry = self._telemetry
 
-        result = self._run(resolved, budget, algorithm, candidate_width)
-        report = build_report(
-            resolved,
-            self._optimizer,
-            result,
-            hot_spot_count=hot_spot_count,
-        )
+        stats_before = self._optimizer.statistics.copy()
+        with telemetry.tracer.span(
+            "advisor.recommend", algorithm=algorithm
+        ):
+            result = self._run(
+                resolved, budget, algorithm, candidate_width
+            )
+            run_statistics = self._optimizer.statistics.since(
+                stats_before
+            )
+            with telemetry.tracer.span("advisor.report"):
+                report = build_report(
+                    resolved,
+                    self._optimizer,
+                    result,
+                    hot_spot_count=hot_spot_count,
+                    whatif_statistics=run_statistics,
+                )
+        if telemetry.enabled:
+            telemetry.record_whatif(self._optimizer.statistics)
         return Recommendation(
-            workload=resolved, result=result, report=report
+            workload=resolved,
+            result=result,
+            report=report,
+            telemetry=telemetry.snapshot(),
         )
 
     def _run(
@@ -202,10 +238,11 @@ class IndexAdvisor:
         algorithm: str,
         candidate_width: int,
     ) -> SelectionResult:
+        telemetry = self._telemetry
         if algorithm in ("extend", "extend+swap"):
-            result = ExtendAlgorithm(self._optimizer).select(
-                workload, budget
-            )
+            result = ExtendAlgorithm(
+                self._optimizer, telemetry=telemetry
+            ).select(workload, budget)
             if algorithm == "extend+swap":
                 candidates = syntactically_relevant_candidates(
                     workload, candidate_width
@@ -216,6 +253,7 @@ class IndexAdvisor:
                     result,
                     budget,
                     candidates,
+                    telemetry=telemetry,
                 )
             return result
 
@@ -224,7 +262,7 @@ class IndexAdvisor:
         )
         if algorithm == "cophy":
             return CoPhyAlgorithm(
-                self._optimizer, time_limit=120.0
+                self._optimizer, time_limit=120.0, telemetry=telemetry
             ).select(workload, budget, candidates)
         heuristics = {
             "h1": FrequencyHeuristic,
@@ -233,14 +271,14 @@ class IndexAdvisor:
             "h5": BenefitPerSizeHeuristic,
         }
         if algorithm in heuristics:
-            return heuristics[algorithm](self._optimizer).select(
-                workload, budget, candidates
-            )
+            return heuristics[algorithm](
+                self._optimizer, telemetry=telemetry
+            ).select(workload, budget, candidates)
         if algorithm == "h4":
-            return PerformanceHeuristic(self._optimizer).select(
-                workload, budget, candidates
-            )
+            return PerformanceHeuristic(
+                self._optimizer, telemetry=telemetry
+            ).select(workload, budget, candidates)
         assert algorithm == "h4+skyline"
         return PerformanceHeuristic(
-            self._optimizer, use_skyline=True
+            self._optimizer, use_skyline=True, telemetry=telemetry
         ).select(workload, budget, candidates)

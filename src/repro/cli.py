@@ -8,6 +8,12 @@ Two subcommands:
       python -m repro advise --workload tpcc --budget 0.5
       python -m repro advise --workload appendix-c --algorithm cophy \\
           --budget 0.2 --candidates 200
+      python -m repro advise --budget 0.3 --trace run.jsonl --metrics
+
+  ``--trace FILE`` writes a JSON-lines telemetry trace (spans, step
+  events, final metrics — see docs/OBSERVABILITY.md); ``--metrics``
+  prints the metrics table; ``--steps`` prints the construction-step
+  table (Extend only).
 
 * ``experiment`` — run one of the paper-artifact harnesses, e.g.::
 
@@ -42,6 +48,12 @@ from repro.indexes.candidates import (
     syntactically_relevant_candidates,
 )
 from repro.indexes.memory import relative_budget
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    JsonLinesSink,
+    Telemetry,
+    render_metrics_table,
+)
 from repro.workload.enterprise import (
     EnterpriseConfig,
     generate_enterprise_workload,
@@ -82,10 +94,13 @@ def _run_algorithm(
     workload: Workload,
     optimizer: WhatIfOptimizer,
     budget: float,
+    telemetry: Telemetry,
 ) -> SelectionResult:
     name = arguments.algorithm
     if name == "extend":
-        return ExtendAlgorithm(optimizer).select(workload, budget)
+        return ExtendAlgorithm(optimizer, telemetry=telemetry).select(
+            workload, budget
+        )
 
     if arguments.candidates:
         statistics = WorkloadStatistics(workload)
@@ -94,7 +109,9 @@ def _run_algorithm(
         candidates = syntactically_relevant_candidates(workload)
     if name == "cophy":
         return CoPhyAlgorithm(
-            optimizer, time_limit=arguments.time_limit
+            optimizer,
+            time_limit=arguments.time_limit,
+            telemetry=telemetry,
         ).select(workload, budget, candidates)
     heuristic_types = {
         "h1": FrequencyHeuristic,
@@ -103,17 +120,17 @@ def _run_algorithm(
         "h5": BenefitPerSizeHeuristic,
     }
     if name in heuristic_types:
-        return heuristic_types[name](optimizer).select(
-            workload, budget, candidates
-        )
+        return heuristic_types[name](
+            optimizer, telemetry=telemetry
+        ).select(workload, budget, candidates)
     if name == "h4":
-        return PerformanceHeuristic(optimizer).select(
-            workload, budget, candidates
-        )
+        return PerformanceHeuristic(
+            optimizer, telemetry=telemetry
+        ).select(workload, budget, candidates)
     if name == "h4s":
-        return PerformanceHeuristic(optimizer, use_skyline=True).select(
-            workload, budget, candidates
-        )
+        return PerformanceHeuristic(
+            optimizer, use_skyline=True, telemetry=telemetry
+        ).select(workload, budget, candidates)
     raise ExperimentError(f"unknown algorithm {name!r}")
 
 
@@ -128,12 +145,37 @@ def _advise(arguments: argparse.Namespace) -> int:
         f"{workload.schema.attribute_count} attributes; "
         f"budget w={arguments.budget} ({budget:,.0f} bytes)"
     )
-    result = _run_algorithm(arguments, workload, optimizer, budget)
+    if arguments.trace or arguments.metrics:
+        sinks: tuple[JsonLinesSink, ...] = ()
+        if arguments.trace:
+            # Fail fast on an unwritable path instead of crashing at
+            # the first lazy emit mid-selection.
+            try:
+                open(arguments.trace, "w", encoding="utf-8").close()
+            except OSError as error:
+                print(
+                    f"error: cannot write trace file: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            sinks = (JsonLinesSink(arguments.trace),)
+        telemetry: Telemetry = Telemetry(sinks=sinks)
+    else:
+        telemetry = NULL_TELEMETRY
+    result = _run_algorithm(
+        arguments, workload, optimizer, budget, telemetry
+    )
     baseline = optimizer.workload_cost(workload, ())
+    statistics = optimizer.statistics
     print(result.summary())
     print(
         f"Cost without indexes: {baseline:.6g} "
         f"({baseline / max(result.total_cost, 1e-12):.1f}x improvement)"
+    )
+    print(
+        f"What-if cache: {statistics.cache_hits:,} hits / "
+        f"{statistics.total_requests:,} requests "
+        f"({statistics.hit_rate:.1%} hit rate)"
     )
     print("\nRecommended indexes:")
     for index in sorted(
@@ -141,9 +183,17 @@ def _advise(arguments: argparse.Namespace) -> int:
         key=lambda index: (index.table_name, index.attributes),
     ):
         print(f"  {index.label(workload.schema)}")
-    if result.steps and arguments.trace:
+    if result.steps and arguments.steps:
         print("\nConstruction trace:")
         print(format_steps(result.steps, workload.schema))
+    if telemetry.enabled:
+        statistics.publish(telemetry.metrics)
+        if arguments.metrics:
+            print("\nTelemetry metrics:")
+            print(render_metrics_table(telemetry.metrics.snapshot()))
+        telemetry.close()
+        if arguments.trace:
+            print(f"\nTrace written to {arguments.trace}")
     return 0
 
 
@@ -192,8 +242,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     advise.add_argument("--time-limit", type=float, default=120.0)
     advise.add_argument(
-        "--trace", action="store_true",
-        help="print the construction trace (Extend only)",
+        "--steps", action="store_true",
+        help="print the construction-step table (Extend only)",
+    )
+    advise.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSON-lines telemetry trace (spans, step events, "
+        "metrics) to FILE",
+    )
+    advise.add_argument(
+        "--metrics", action="store_true",
+        help="print the telemetry metrics table after the run",
     )
     advise.set_defaults(handler=_advise)
 

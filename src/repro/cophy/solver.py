@@ -24,6 +24,7 @@ from repro.exceptions import SolverError, SolverTimeoutError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
 from repro.indexes.memory import configuration_memory
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.workload.query import Workload
 
 __all__ = ["CoPhyAlgorithm", "CoPhyResult"]
@@ -62,6 +63,10 @@ class CoPhyAlgorithm:
         incumbent raises :class:`SolverTimeoutError` (a "DNF"), exceeding
         it *with* an incumbent returns the incumbent flagged
         ``timed_out=True``.  ``None`` means no limit.
+    telemetry:
+        Observability session (see :mod:`repro.telemetry`): traces
+        ``cophy.build_problem`` and ``cophy.solve`` spans and publishes
+        problem-size gauges when enabled.
     """
 
     name = "CoPhy"
@@ -72,6 +77,7 @@ class CoPhyAlgorithm:
         *,
         mip_gap: float = 0.05,
         time_limit: float | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if mip_gap < 0:
             raise SolverError(f"mip_gap must be >= 0, got {mip_gap}")
@@ -82,6 +88,7 @@ class CoPhyAlgorithm:
         self._optimizer = optimizer
         self._mip_gap = mip_gap
         self._time_limit = time_limit
+        self._telemetry = telemetry
 
     def select(
         self,
@@ -95,15 +102,34 @@ class CoPhyAlgorithm:
         needed to build the cost table are counted in ``whatif_calls``
         (the paper reports the two contributions separately).
         """
+        telemetry = self._telemetry
+        tracer = telemetry.tracer
         calls_before = self._optimizer.calls
-        problem = build_problem(
-            workload, candidates, budget, self._optimizer
-        )
+        with tracer.span(
+            "cophy.build_problem", candidates=len(candidates)
+        ):
+            problem = build_problem(
+                workload, candidates, budget, self._optimizer
+            )
         whatif_calls = self._optimizer.calls - calls_before
 
         started = time.perf_counter()
-        solution, timed_out = self._solve(problem)
+        with tracer.span("cophy.solve") as solve_span:
+            solution, timed_out = self._solve(problem)
+            solve_span.annotate("timed_out", timed_out)
         runtime = time.perf_counter() - started
+
+        if telemetry.enabled:
+            telemetry.metrics.gauge("cophy.variables").set(
+                problem.size.variables
+            )
+            telemetry.metrics.gauge("cophy.constraints").set(
+                problem.size.constraints
+            )
+            telemetry.metrics.counter(
+                "cophy.whatif_calls"
+            ).increment(whatif_calls)
+            telemetry.record_whatif(self._optimizer.statistics)
 
         selected = problem.selection_from(solution)
         configuration = IndexConfiguration(selected)

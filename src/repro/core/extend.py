@@ -43,9 +43,13 @@ from repro.exceptions import BudgetError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index, canonical_index
 from repro.indexes.memory import index_memory
+from repro.telemetry import NULL_TELEMETRY, StepEvent, Telemetry
 from repro.workload.query import Workload
 
 __all__ = ["ExtendAlgorithm", "ExtendResult"]
+
+_REJECTED_LOG_COUNT = 3
+"""Runner-up moves logged as rejected step events per selection step."""
 
 
 @dataclass(frozen=True)
@@ -151,6 +155,12 @@ class ExtendAlgorithm:
         Cost model for ``R(I*, Ī*)``; defaults to free reconfiguration.
     baseline:
         The existing selection ``Ī*`` reconfiguration is priced against.
+    telemetry:
+        Observability session (see :mod:`repro.telemetry`).  When
+        enabled, every run traces one ``extend.step`` span per selection
+        step and emits chosen/rejected :class:`StepEvent` records; the
+        default :data:`~repro.telemetry.NULL_TELEMETRY` reduces all
+        instrumentation to no-ops.
     skip_oversized:
         When ``True`` (default), a step that would overshoot the budget
         is skipped and smaller fitting steps are still considered —
@@ -174,6 +184,7 @@ class ExtendAlgorithm:
         missed_opportunities: int = 0,
         reconfiguration: ReconfigurationModel = NO_RECONFIGURATION,
         baseline: IndexConfiguration | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
         skip_oversized: bool = True,
     ) -> None:
         if max_steps is not None and max_steps < 1:
@@ -200,6 +211,7 @@ class ExtendAlgorithm:
         self._missed_budget = missed_opportunities
         self._reconfiguration = reconfiguration
         self._baseline = baseline or IndexConfiguration()
+        self._telemetry = telemetry
         self._skip_oversized = skip_oversized
 
     # ------------------------------------------------------------------
@@ -216,50 +228,113 @@ class ExtendAlgorithm:
         """
         if budget < 0:
             raise BudgetError(f"budget must be >= 0, got {budget}")
+        telemetry = self._telemetry
+        tracer = telemetry.tracer
+        statistics = self._optimizer.statistics
         started = time.perf_counter()
-        calls_before = self._optimizer.calls
-        state = _ConstructionState(
-            workload,
-            self._optimizer,
-            self._reconfiguration,
-            self._baseline,
-            max_width=self._max_width,
-            n_best_singles=self._n_best_singles,
-            pair_seeds=self._pair_seeds,
-        )
+        calls_before = statistics.calls
 
-        steps: list[ConstructionStep] = []
-        missed: list[tuple[tuple[int, ...], int]] = []
-        while self._max_steps is None or len(steps) < self._max_steps:
-            state.materialize_branches(missed, self._missed_budget)
-            remaining = budget - state.memory
-            if self._skip_oversized:
-                best, runners_up = state.best_move(
-                    self._missed_budget, max_memory_delta=remaining
+        with tracer.span(
+            "extend.select", algorithm=self.name, budget=budget
+        ) as run_span:
+            with tracer.span("extend.seed"):
+                state = _ConstructionState(
+                    workload,
+                    self._optimizer,
+                    self._reconfiguration,
+                    self._baseline,
+                    max_width=self._max_width,
+                    n_best_singles=self._n_best_singles,
+                    pair_seeds=self._pair_seeds,
                 )
-                if best is None:
-                    break
-            else:
-                best, runners_up = state.best_move(self._missed_budget)
-                if best is None:
-                    break
-                if best[0].memory_delta > remaining:
-                    break
-            move, benefit = best
-            steps.append(state.apply(move, benefit, len(steps) + 1))
-            for runner in runners_up:
-                if runner.kind is StepKind.EXTEND and runner.old_index:
-                    missed.append(
-                        (runner.old_index.attributes, runner.new_index.attributes[-1])
-                    )
-            if self._prune_unused:
-                steps.extend(state.prune_unused(len(steps) + 1))
 
-        runtime = time.perf_counter() - started
-        configuration = state.configuration
-        reconfiguration_cost = self._reconfiguration.cost(
-            workload.schema, configuration, self._baseline
-        )
+            steps: list[ConstructionStep] = []
+            missed: list[tuple[tuple[int, ...], int]] = []
+            # With telemetry on, ask for a few extra runners-up so the
+            # best rejected candidates appear in the step-event log even
+            # when the missed-opportunity mechanism is off.
+            runner_request = self._missed_budget
+            if telemetry.enabled:
+                runner_request = max(runner_request, _REJECTED_LOG_COUNT)
+
+            while self._max_steps is None or len(steps) < self._max_steps:
+                step_number = len(steps) + 1
+                step_calls = statistics.calls
+                step_hits = statistics.cache_hits
+                with tracer.span(
+                    "extend.step", step=step_number
+                ) as step_span:
+                    state.materialize_branches(missed, self._missed_budget)
+                    remaining = budget - state.memory
+                    if self._skip_oversized:
+                        best, runners_up = state.best_move(
+                            runner_request, max_memory_delta=remaining
+                        )
+                        if best is None:
+                            step_span.annotate("outcome", "exhausted")
+                            break
+                    else:
+                        best, runners_up = state.best_move(runner_request)
+                        if best is None:
+                            step_span.annotate("outcome", "exhausted")
+                            break
+                        if best[0].memory_delta > remaining:
+                            step_span.annotate("outcome", "over-budget")
+                            break
+                    move, benefit = best
+                    step = state.apply(move, benefit, step_number)
+                    steps.append(step)
+                    step_span.annotate("outcome", "applied")
+                    step_span.annotate("kind", step.kind.value)
+                    step_span.annotate(
+                        "whatif_calls", statistics.calls - step_calls
+                    )
+                    step_span.annotate(
+                        "cache_hits", statistics.cache_hits - step_hits
+                    )
+                for runner, _, _ in runners_up[: self._missed_budget]:
+                    if runner.kind is StepKind.EXTEND and runner.old_index:
+                        missed.append(
+                            (
+                                runner.old_index.attributes,
+                                runner.new_index.attributes[-1],
+                            )
+                        )
+                if telemetry.enabled:
+                    self._emit_step_events(
+                        telemetry,
+                        step,
+                        runners_up,
+                        whatif_calls=statistics.calls - step_calls,
+                        cache_hits=statistics.cache_hits - step_hits,
+                        candidates=state.last_candidates_considered,
+                    )
+                if self._prune_unused:
+                    pruned = state.prune_unused(len(steps) + 1)
+                    steps.extend(pruned)
+                    if telemetry.enabled:
+                        for removal in pruned:
+                            telemetry.emit_step(
+                                self._removal_event(removal)
+                            )
+
+            runtime = time.perf_counter() - started
+            configuration = state.configuration
+            reconfiguration_cost = self._reconfiguration.cost(
+                workload.schema, configuration, self._baseline
+            )
+            if telemetry.enabled:
+                run_span.annotate("steps", len(steps))
+                run_span.annotate("total_cost", state.total_cost)
+                run_span.annotate("memory", state.memory)
+                telemetry.metrics.gauge("extend.memory").set(state.memory)
+                telemetry.metrics.gauge("extend.total_cost").set(
+                    state.total_cost
+                )
+                telemetry.metrics.counter(
+                    "extend.whatif_calls"
+                ).increment(statistics.calls - calls_before)
+                telemetry.record_whatif(statistics)
         return ExtendResult(
             algorithm=self.name,
             configuration=configuration,
@@ -267,9 +342,89 @@ class ExtendAlgorithm:
             memory=state.memory,
             budget=budget,
             runtime_seconds=runtime,
-            whatif_calls=self._optimizer.calls - calls_before,
+            whatif_calls=statistics.calls - calls_before,
             reconfiguration_cost=reconfiguration_cost,
             steps=tuple(steps),
+        )
+
+    def _emit_step_events(
+        self,
+        telemetry: Telemetry,
+        step: ConstructionStep,
+        runners_up: list[tuple["_Move", float, float]],
+        *,
+        whatif_calls: int,
+        cache_hits: int,
+        candidates: int,
+    ) -> None:
+        """One chosen event for the applied step, plus its best rejected
+        rivals (estimated benefit, no before/after state — they never
+        happened)."""
+        assert step.index_after is not None
+        telemetry.metrics.counter("extend.steps").increment()
+        telemetry.emit_step(
+            StepEvent(
+                algorithm=self.name,
+                step_number=step.step_number,
+                action=step.kind.value,
+                table=step.index_after.table_name,
+                index_before=(
+                    step.index_before.attributes
+                    if step.index_before
+                    else None
+                ),
+                index_after=step.index_after.attributes,
+                chosen=True,
+                benefit=step.benefit,
+                memory_delta=step.memory_delta,
+                ratio=step.ratio,
+                cost_before=step.cost_before,
+                cost_after=step.cost_after,
+                memory_before=step.memory_before,
+                memory_after=step.memory_after,
+                whatif_calls=whatif_calls,
+                cache_hits=cache_hits,
+                candidates_considered=candidates,
+            )
+        )
+        for runner, benefit, ratio in runners_up[:_REJECTED_LOG_COUNT]:
+            telemetry.emit_step(
+                StepEvent(
+                    algorithm=self.name,
+                    step_number=step.step_number,
+                    action=runner.kind.value,
+                    table=runner.new_index.table_name,
+                    index_before=(
+                        runner.old_index.attributes
+                        if runner.old_index
+                        else None
+                    ),
+                    index_after=runner.new_index.attributes,
+                    chosen=False,
+                    benefit=benefit,
+                    memory_delta=runner.memory_delta,
+                    ratio=ratio,
+                )
+            )
+
+    def _removal_event(self, step: ConstructionStep) -> StepEvent:
+        """Chosen event for a Remark 1 (2) prune (REMOVE) step."""
+        assert step.index_before is not None
+        return StepEvent(
+            algorithm=self.name,
+            step_number=step.step_number,
+            action=step.kind.value,
+            table=step.index_before.table_name,
+            index_before=step.index_before.attributes,
+            index_after=None,
+            chosen=True,
+            benefit=step.benefit,
+            memory_delta=step.memory_delta,
+            ratio=step.ratio,
+            cost_before=step.cost_before,
+            cost_after=step.cost_after,
+            memory_before=step.memory_before,
+            memory_after=step.memory_after,
         )
 
 
@@ -347,6 +502,7 @@ class _ConstructionState:
                 if cost < self._current[position]:
                     self._current[position] = cost
 
+        self.last_candidates_considered = 0
         self._single_moves: dict[int, _Move] = {}
         self._extension_moves: dict[tuple[Index, int], _Move] = {}
         self._branch_moves: dict[tuple[tuple[int, ...], int], _Move] = {}
@@ -625,16 +781,24 @@ class _ConstructionState:
         self,
         runner_up_count: int = 0,
         max_memory_delta: float | None = None,
-    ) -> tuple[tuple[_Move, float] | None, list[_Move]]:
+    ) -> tuple[
+        tuple[_Move, float] | None, list[tuple[_Move, float, float]]
+    ]:
         """The move with the best benefit/memory ratio, plus runners-up.
 
         Only moves with strictly positive net benefit qualify; when
         ``max_memory_delta`` is given, moves that would not fit the
         remaining budget are skipped.  Ties on the ratio are broken by
         larger absolute benefit, then by the deterministic move key.
+        Runners-up come back as ``(move, benefit, ratio)`` so callers
+        (missed-opportunity tracking, step-event logging) need not
+        re-price them; :attr:`last_candidates_considered` records how
+        many moves were scored for this decision.
         """
         scored: list[tuple[float, float, _Move]] = []
+        considered = 0
         for move in self._iter_moves():
+            considered += 1
             if (
                 max_memory_delta is not None
                 and move.memory_delta > max_memory_delta
@@ -644,6 +808,7 @@ class _ConstructionState:
             if benefit <= 0.0:
                 continue
             scored.append((benefit / move.memory_delta, benefit, move))
+        self.last_candidates_considered = considered
         if not scored:
             return None, []
         scored.sort(
@@ -651,7 +816,7 @@ class _ConstructionState:
         )
         best_ratio, best_benefit, best = scored[0]
         runners_up = [
-            entry[2]
+            (entry[2], entry[1], entry[0])
             for entry in scored[1 : 1 + runner_up_count]
         ]
         return (best, best_benefit), runners_up

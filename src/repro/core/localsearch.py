@@ -29,6 +29,7 @@ from repro.exceptions import BudgetError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
 from repro.indexes.memory import index_memory
+from repro.telemetry import NULL_TELEMETRY, StepEvent, Telemetry
 from repro.workload.query import Workload
 
 __all__ = ["swap_local_search"]
@@ -109,6 +110,7 @@ def swap_local_search(
     *,
     max_rounds: int = 20,
     max_pool: int = 500,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> SelectionResult:
     """Improve a selection by budget-respecting swaps.
 
@@ -134,105 +136,171 @@ def swap_local_search(
     if budget < 0:
         raise BudgetError(f"budget must be >= 0, got {budget}")
     started = time.perf_counter()
-    calls_before = optimizer.calls
-    schema = workload.schema
-    cache = _CostCache(workload, optimizer)
+    statistics = optimizer.statistics
+    calls_before = statistics.calls
+    tracer = telemetry.tracer
+    run_context = tracer.span(
+        "localsearch.swap", algorithm=result.algorithm
+    )
+    run_span = run_context.__enter__()
+    # Manual enter/exit keeps the (long) search body at its original
+    # indentation; the finally below guarantees the span closes.
+    try:
+        schema = workload.schema
+        with tracer.span("localsearch.pool"):
+            cache = _CostCache(workload, optimizer)
 
-    selected: set[Index] = set(result.configuration)
-    memory = {
-        index: index_memory(schema, index)
-        for index in selected
-    }
-    current_memory = sum(memory.values())
-
-    pool = [index for index in dict.fromkeys(candidate_pool)]
-    pool = [index for index in pool if index not in selected]
-    if len(pool) > max_pool:
-        # Rank candidates by what they could still add on top of the
-        # current selection — ranking against the no-index baseline would
-        # keep redundant variants of already-covered hot queries and drop
-        # the candidates that cover something new.
-        base = cache.per_query_best(
-            sorted(
-                selected,
-                key=lambda index: (index.table_name, index.attributes),
-            )
-        )
-        scored = sorted(
-            pool,
-            key=lambda index: -float(
-                np.dot(
-                    cache.weights,
-                    np.maximum(base - cache.column(index), 0.0),
-                )
-            ),
-        )
-        pool = scored[:max_pool]
-    for index in pool:
-        memory[index] = index_memory(schema, index)
-
-    current_cost = cache.configuration_cost(selected)
-    rounds = 0
-    while rounds < max_rounds:
-        rounds += 1
-        ordered_selected = sorted(
-            selected, key=lambda index: (index.table_name, index.attributes)
-        )
-        selected_matrix = (
-            np.vstack([cache.column(index) for index in ordered_selected])
-            if ordered_selected
-            else np.empty((0, len(cache.sequential)))
-        )
-
-        improvement: tuple[float, Index, tuple[Index, ...]] | None = None
-        for candidate in pool:
-            if candidate in selected:
-                continue
-            # Marginal value of every selected index *with the candidate
-            # present* — interaction means an index can lose most of its
-            # value once the candidate covers its queries.
-            stacked = np.vstack(
-                [
-                    selected_matrix,
-                    cache.column(candidate)[None, :],
-                    cache.sequential[None, :],
-                ]
-            )
-            owners = np.argmin(stacked, axis=0)
-            two_smallest = np.partition(stacked, 1, axis=0)
-            regret = (two_smallest[1] - two_smallest[0]) * cache.weights
-            marginal = {
-                index: float(regret[owners == row].sum())
-                for row, index in enumerate(ordered_selected)
+            selected: set[Index] = set(result.configuration)
+            memory = {
+                index: index_memory(schema, index)
+                for index in selected
             }
+            current_memory = sum(memory.values())
 
-            needed = current_memory + memory[candidate] - budget
-            evicted: list[Index] = []
-            if needed > 0:
-                for victim in sorted(
-                    ordered_selected, key=lambda index: marginal[index]
-                ):
-                    evicted.append(victim)
-                    needed -= memory[victim]
-                    if needed <= 0:
-                        break
-                if needed > 0:
-                    continue
-            trial = (selected - set(evicted)) | {candidate}
-            trial_cost = cache.configuration_cost(trial)
-            gain = current_cost - trial_cost
-            if gain > 0 and (
-                improvement is None or gain > improvement[0]
-            ):
-                improvement = (gain, candidate, tuple(evicted))
-        if improvement is None:
-            break
-        _, candidate, evicted = improvement
-        selected = (selected - set(evicted)) | {candidate}
-        current_memory = sum(memory[index] for index in selected)
+            pool = [index for index in dict.fromkeys(candidate_pool)]
+            pool = [index for index in pool if index not in selected]
+            if len(pool) > max_pool:
+                # Rank candidates by what they could still add on top of
+                # the current selection — ranking against the no-index
+                # baseline would keep redundant variants of
+                # already-covered hot queries and drop the candidates
+                # that cover something new.
+                base = cache.per_query_best(
+                    sorted(
+                        selected,
+                        key=lambda index: (
+                            index.table_name,
+                            index.attributes,
+                        ),
+                    )
+                )
+                scored = sorted(
+                    pool,
+                    key=lambda index: -float(
+                        np.dot(
+                            cache.weights,
+                            np.maximum(base - cache.column(index), 0.0),
+                        )
+                    ),
+                )
+                pool = scored[:max_pool]
+            for index in pool:
+                memory[index] = index_memory(schema, index)
+
         current_cost = cache.configuration_cost(selected)
-        pool = [index for index in pool if index != candidate]
-        pool.extend(evicted)
+        rounds = 0
+        swaps = 0
+        while rounds < max_rounds:
+            rounds += 1
+            with tracer.span("localsearch.round", round=rounds) as round_span:
+                ordered_selected = sorted(
+                    selected,
+                    key=lambda index: (index.table_name, index.attributes),
+                )
+                selected_matrix = (
+                    np.vstack(
+                        [cache.column(index) for index in ordered_selected]
+                    )
+                    if ordered_selected
+                    else np.empty((0, len(cache.sequential)))
+                )
+
+                improvement: (
+                    tuple[float, Index, tuple[Index, ...]] | None
+                ) = None
+                for candidate in pool:
+                    if candidate in selected:
+                        continue
+                    # Marginal value of every selected index *with the
+                    # candidate present* — interaction means an index can
+                    # lose most of its value once the candidate covers
+                    # its queries.
+                    stacked = np.vstack(
+                        [
+                            selected_matrix,
+                            cache.column(candidate)[None, :],
+                            cache.sequential[None, :],
+                        ]
+                    )
+                    owners = np.argmin(stacked, axis=0)
+                    two_smallest = np.partition(stacked, 1, axis=0)
+                    regret = (
+                        two_smallest[1] - two_smallest[0]
+                    ) * cache.weights
+                    marginal = {
+                        index: float(regret[owners == row].sum())
+                        for row, index in enumerate(ordered_selected)
+                    }
+
+                    needed = current_memory + memory[candidate] - budget
+                    evicted: list[Index] = []
+                    if needed > 0:
+                        for victim in sorted(
+                            ordered_selected,
+                            key=lambda index: marginal[index],
+                        ):
+                            evicted.append(victim)
+                            needed -= memory[victim]
+                            if needed <= 0:
+                                break
+                        if needed > 0:
+                            continue
+                    trial = (selected - set(evicted)) | {candidate}
+                    trial_cost = cache.configuration_cost(trial)
+                    gain = current_cost - trial_cost
+                    if gain > 0 and (
+                        improvement is None or gain > improvement[0]
+                    ):
+                        improvement = (gain, candidate, tuple(evicted))
+                if improvement is None:
+                    round_span.annotate("outcome", "converged")
+                    break
+                gain, candidate, evicted = improvement
+                cost_before = current_cost
+                memory_before = current_memory
+                selected = (selected - set(evicted)) | {candidate}
+                current_memory = sum(
+                    memory[index] for index in selected
+                )
+                current_cost = cache.configuration_cost(selected)
+                pool = [index for index in pool if index != candidate]
+                pool.extend(evicted)
+                swaps += 1
+                round_span.annotate("outcome", "swapped")
+                round_span.annotate("gain", gain)
+                if telemetry.enabled:
+                    memory_delta = current_memory - memory_before
+                    telemetry.emit_step(
+                        StepEvent(
+                            algorithm=f"{result.algorithm}+swap",
+                            step_number=swaps,
+                            action="swap",
+                            table=candidate.table_name,
+                            index_before=(
+                                evicted[0].attributes if evicted else None
+                            ),
+                            index_after=candidate.attributes,
+                            chosen=True,
+                            benefit=cost_before - current_cost,
+                            memory_delta=memory_delta,
+                            ratio=(
+                                (cost_before - current_cost) / memory_delta
+                                if memory_delta > 0
+                                else float("inf")
+                            ),
+                            cost_before=cost_before,
+                            cost_after=current_cost,
+                            memory_before=memory_before,
+                            memory_after=current_memory,
+                        )
+                    )
+        if telemetry.enabled:
+            run_span.annotate("rounds", rounds)
+            run_span.annotate("swaps", swaps)
+            telemetry.metrics.counter("localsearch.swaps").increment(swaps)
+            telemetry.record_whatif(statistics)
+    finally:
+        run_context.__exit__(None, None, None)
 
     return SelectionResult(
         algorithm=f"{result.algorithm}+swap",
@@ -243,7 +311,7 @@ def swap_local_search(
         runtime_seconds=result.runtime_seconds
         + (time.perf_counter() - started),
         whatif_calls=result.whatif_calls
-        + (optimizer.calls - calls_before),
+        + (statistics.calls - calls_before),
         reconfiguration_cost=result.reconfiguration_cost,
         steps=result.steps,
     )

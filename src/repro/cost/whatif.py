@@ -82,10 +82,38 @@ class WhatIfStatistics:
         """Backend calls plus cache hits."""
         return self.calls + self.cache_hits
 
+    @property
+    def hit_rate(self) -> float:
+        """Share of requests served from the cache (0 when unused)."""
+        total = self.total_requests
+        return self.cache_hits / total if total else 0.0
+
     def reset(self) -> None:
         """Zero all counters."""
         self.calls = 0
         self.cache_hits = 0
+
+    def copy(self) -> WhatIfStatistics:
+        """Point-in-time copy (the live object mutates in place)."""
+        return WhatIfStatistics(
+            calls=self.calls, cache_hits=self.cache_hits
+        )
+
+    def since(self, earlier: WhatIfStatistics) -> WhatIfStatistics:
+        """Counter deltas accumulated after ``earlier`` was captured."""
+        return WhatIfStatistics(
+            calls=self.calls - earlier.calls,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+        )
+
+    def publish(self, registry, prefix: str = "whatif") -> None:
+        """Bridge the counters into a telemetry
+        :class:`~repro.telemetry.metrics.MetricsRegistry` as gauges
+        (``<prefix>.calls``, ``<prefix>.cache_hits``,
+        ``<prefix>.hit_rate``)."""
+        registry.gauge(f"{prefix}.calls").set(self.calls)
+        registry.gauge(f"{prefix}.cache_hits").set(self.cache_hits)
+        registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
 
 
 class WhatIfOptimizer:

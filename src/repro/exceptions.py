@@ -75,3 +75,12 @@ class EngineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness received invalid parameters."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry layer was used incorrectly.
+
+    Raised for metric type collisions (asking for a counter under a name
+    already registered as a histogram), invalid instrument parameters,
+    and sinks that cannot be written.
+    """

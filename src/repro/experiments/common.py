@@ -8,18 +8,19 @@ reports.  This module holds the pieces they share.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cophy.solver import CoPhyAlgorithm
 from repro.core.extend import ExtendAlgorithm
 from repro.core.frontier import Frontier, FrontierPoint
+from repro.core.steps import SelectionResult
 from repro.cost.model import CostModel
 from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
 from repro.exceptions import ExperimentError, SolverTimeoutError
 from repro.indexes.index import Index
 from repro.indexes.memory import relative_budget
+from repro.telemetry import Telemetry
 from repro.workload.query import Workload
 
 __all__ = [
@@ -86,6 +87,17 @@ def _progress(verbose: bool, message: str) -> None:
         print(f"  [{message}]", flush=True)
 
 
+def _series_cost(
+    result: SelectionResult,
+    cost_fn: Callable[[SelectionResult], float] | None,
+) -> float:
+    """The cost a sweep records: model cost, or a caller-supplied
+    evaluation (e.g. Fig. 5's measured end-to-end execution)."""
+    if cost_fn is None:
+        return result.total_cost
+    return cost_fn(result)
+
+
 def sweep_extend(
     workload: Workload,
     optimizer: WhatIfOptimizer,
@@ -94,25 +106,36 @@ def sweep_extend(
     name: str = "H6",
     algorithm_factory: Callable[[WhatIfOptimizer], ExtendAlgorithm]
     | None = None,
+    cost_fn: Callable[[SelectionResult], float] | None = None,
+    telemetry: Telemetry | None = None,
     verbose: bool = False,
 ) -> BudgetSweepSeries:
-    """Run Extend once per budget share."""
+    """Run Extend once per budget share.
+
+    All timing flows through the shared telemetry tracer; pass an
+    enabled session via ``telemetry`` to keep the spans (and the
+    per-step event log), otherwise a throwaway session is used.
+    """
+    telemetry = telemetry or Telemetry()
     series = BudgetSweepSeries(name=name)
     calls_before = optimizer.calls
-    for w in budget_shares:
-        budget = relative_budget(workload.schema, w)
-        algorithm = (
-            algorithm_factory(optimizer)
-            if algorithm_factory
-            else ExtendAlgorithm(optimizer)
-        )
-        result = algorithm.select(workload, budget)
-        series.add(w, result.total_cost, result.runtime_seconds)
-        _progress(
-            verbose,
-            f"{name} w={w:g}: cost={result.total_cost:.4g} "
-            f"in {result.runtime_seconds:.2f}s",
-        )
+    with telemetry.tracer.span("sweep.extend", series=name):
+        for w in budget_shares:
+            budget = relative_budget(workload.schema, w)
+            algorithm = (
+                algorithm_factory(optimizer)
+                if algorithm_factory
+                else ExtendAlgorithm(optimizer, telemetry=telemetry)
+            )
+            with telemetry.tracer.span("sweep.point", w=w):
+                result = algorithm.select(workload, budget)
+                cost = _series_cost(result, cost_fn)
+            series.add(w, cost, result.runtime_seconds)
+            _progress(
+                verbose,
+                f"{name} w={w:g}: cost={cost:.4g} "
+                f"in {result.runtime_seconds:.2f}s",
+            )
     series.whatif_calls = optimizer.calls - calls_before
     return series
 
@@ -126,39 +149,50 @@ def sweep_cophy(
     name: str,
     mip_gap: float = 0.05,
     time_limit: float | None = 60.0,
+    cost_fn: Callable[[SelectionResult], float] | None = None,
+    telemetry: Telemetry | None = None,
     verbose: bool = False,
 ) -> BudgetSweepSeries:
     """Run CoPhy once per budget share over a fixed candidate set.
 
     Budgets where the solver DNFs are recorded as ``inf`` cost with a
-    note, mirroring Table I's DNF entries.
+    note, mirroring Table I's DNF entries; the DNF runtime is read from
+    the tracer span that wrapped the attempt.
     """
+    telemetry = telemetry or Telemetry()
     series = BudgetSweepSeries(name=name)
     algorithm = CoPhyAlgorithm(
-        optimizer, mip_gap=mip_gap, time_limit=time_limit
+        optimizer,
+        mip_gap=mip_gap,
+        time_limit=time_limit,
+        telemetry=telemetry,
     )
     calls_before = optimizer.calls
-    for w in budget_shares:
-        budget = relative_budget(workload.schema, w)
-        started = time.perf_counter()
-        try:
-            result = algorithm.select(workload, budget, candidates)
-        except SolverTimeoutError:
-            series.add(w, float("inf"), time.perf_counter() - started)
-            series.notes.append(f"w={w:g}: DNF (time limit)")
-            _progress(verbose, f"{name} w={w:g}: DNF")
-            continue
-        series.add(w, result.total_cost, result.runtime_seconds)
-        if result.timed_out:
-            series.notes.append(
-                f"w={w:g}: time limit hit, incumbent returned"
+    with telemetry.tracer.span("sweep.cophy", series=name):
+        for w in budget_shares:
+            budget = relative_budget(workload.schema, w)
+            with telemetry.tracer.span("sweep.point", w=w) as point_span:
+                try:
+                    result = algorithm.select(workload, budget, candidates)
+                    cost = _series_cost(result, cost_fn)
+                except SolverTimeoutError:
+                    result = None
+            if result is None:
+                series.add(w, float("inf"), point_span.duration_seconds)
+                series.notes.append(f"w={w:g}: DNF (time limit)")
+                _progress(verbose, f"{name} w={w:g}: DNF")
+                continue
+            series.add(w, cost, result.runtime_seconds)
+            if result.timed_out:
+                series.notes.append(
+                    f"w={w:g}: time limit hit, incumbent returned"
+                )
+            _progress(
+                verbose,
+                f"{name} w={w:g}: cost={cost:.4g} "
+                f"solve={result.runtime_seconds:.1f}s"
+                + (" (timed out)" if result.timed_out else ""),
             )
-        _progress(
-            verbose,
-            f"{name} w={w:g}: cost={result.total_cost:.4g} "
-            f"solve={result.runtime_seconds:.1f}s"
-            + (" (timed out)" if result.timed_out else ""),
-        )
     series.whatif_calls = optimizer.calls - calls_before
     return series
 
@@ -168,13 +202,20 @@ def sweep_heuristic(
     budget_shares: Sequence[float],
     candidates: list[Index],
     heuristic,
+    *,
+    cost_fn: Callable[[SelectionResult], float] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> BudgetSweepSeries:
     """Run a :class:`RankingHeuristic` once per budget share."""
+    telemetry = telemetry or Telemetry()
     series = BudgetSweepSeries(name=heuristic.name)
     calls_before = heuristic.optimizer.calls
-    for w in budget_shares:
-        budget = relative_budget(workload.schema, w)
-        result = heuristic.select(workload, budget, candidates)
-        series.add(w, result.total_cost, result.runtime_seconds)
+    with telemetry.tracer.span("sweep.heuristic", series=heuristic.name):
+        for w in budget_shares:
+            budget = relative_budget(workload.schema, w)
+            with telemetry.tracer.span("sweep.point", w=w):
+                result = heuristic.select(workload, budget, candidates)
+                cost = _series_cost(result, cost_fn)
+            series.add(w, cost, result.runtime_seconds)
     series.whatif_calls = heuristic.optimizer.calls - calls_before
     return series

@@ -30,6 +30,7 @@ from repro.indexes.candidates import (
     candidates_h1m,
     syntactically_relevant_candidates,
 )
+from repro.telemetry import Telemetry
 from repro.workload.enterprise import (
     EnterpriseConfig,
     generate_enterprise_workload,
@@ -55,11 +56,20 @@ class Fig4Config:
 
 
 def run(
-    config: Fig4Config | None = None, *, verbose: bool = False
+    config: Fig4Config | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+    verbose: bool = False,
 ) -> list[BudgetSweepSeries]:
-    """Execute the Fig. 4 sweep and return all series."""
+    """Execute the Fig. 4 sweep and return all series.
+
+    One telemetry session spans the whole experiment so every sweep's
+    spans and metrics land in the same place; pass your own session to
+    attach sinks (e.g. a JSON-lines trace of the full run).
+    """
     if config is None:
         config = Fig4Config()
+    telemetry = telemetry or Telemetry()
     workload = generate_enterprise_workload(
         EnterpriseConfig(scale=config.workload_scale, seed=config.seed)
     )
@@ -70,7 +80,13 @@ def run(
     )
 
     series = [
-        sweep_extend(workload, optimizer, budgets, verbose=verbose)
+        sweep_extend(
+            workload,
+            optimizer,
+            budgets,
+            telemetry=telemetry,
+            verbose=verbose,
+        )
     ]
     for size in config.candidate_set_sizes:
         candidates = candidates_h1m(statistics, size, 4)
@@ -83,6 +99,7 @@ def run(
                 name=f"CoPhy/H1-M({size})",
                 mip_gap=config.mip_gap,
                 time_limit=config.time_limit,
+                telemetry=telemetry,
                 verbose=verbose,
             )
         )
@@ -97,6 +114,7 @@ def run(
                 name=f"CoPhy/I_max({len(exhaustive)})",
                 mip_gap=config.mip_gap,
                 time_limit=config.time_limit,
+                telemetry=telemetry,
                 verbose=verbose,
             )
         )

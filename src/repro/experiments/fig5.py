@@ -26,13 +26,17 @@ from __future__ import annotations
 import argparse
 from dataclasses import dataclass
 
-from repro.cophy.solver import CoPhyAlgorithm
-from repro.core.extend import ExtendAlgorithm
 from repro.cost.whatif import WhatIfOptimizer
+from repro.core.steps import SelectionResult
 from repro.engine.columnstore import ColumnStoreDatabase
 from repro.engine.measured import MeasuredCostSource, evaluate_configuration
-from repro.exceptions import SolverTimeoutError
-from repro.experiments.common import BudgetSweepSeries, budget_grid
+from repro.experiments.common import (
+    BudgetSweepSeries,
+    budget_grid,
+    sweep_cophy,
+    sweep_extend,
+    sweep_heuristic,
+)
 from repro.experiments.reporting import render_series
 from repro.heuristics.performance import (
     BenefitPerSizeHeuristic,
@@ -43,7 +47,7 @@ from repro.indexes.candidates import (
     candidates_h1m,
     syntactically_relevant_candidates,
 )
-from repro.indexes.memory import relative_budget
+from repro.telemetry import Telemetry
 from repro.workload.generator import GeneratorConfig, generate_workload
 from repro.workload.stats import WorkloadStatistics
 
@@ -67,10 +71,21 @@ class Fig5Config:
     data_seed: int = 7
 
 
-def run(config: Fig5Config | None = None) -> list[BudgetSweepSeries]:
-    """Execute the Fig. 5 end-to-end sweep and return all series."""
+def run(
+    config: Fig5Config | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+) -> list[BudgetSweepSeries]:
+    """Execute the Fig. 5 end-to-end sweep and return all series.
+
+    Every series reuses the shared sweep helpers with a ``cost_fn``
+    that *executes* the recommended configuration on the column store —
+    the plotted value is measured cost, not the model estimate the
+    algorithms optimized.
+    """
     if config is None:
         config = Fig5Config()
+    telemetry = telemetry or Telemetry()
     workload = generate_workload(
         GeneratorConfig(
             attributes_per_table=config.attributes_per_table,
@@ -93,38 +108,39 @@ def run(config: Fig5Config | None = None) -> list[BudgetSweepSeries]:
         config.budget_low, config.budget_high, config.budget_steps
     )
 
-    def end_to_end(configuration) -> float:
+    def end_to_end(result: SelectionResult) -> float:
         return evaluate_configuration(
-            source, workload, configuration
+            source, workload, result.configuration
         ).total_cost
 
-    series: list[BudgetSweepSeries] = []
-
-    extend_series = BudgetSweepSeries(name="H6")
-    for w in budgets:
-        budget = relative_budget(workload.schema, w)
-        result = ExtendAlgorithm(optimizer).select(workload, budget)
-        extend_series.add(
-            w, end_to_end(result.configuration), result.runtime_seconds
+    series = [
+        sweep_extend(
+            workload,
+            optimizer,
+            budgets,
+            cost_fn=end_to_end,
+            telemetry=telemetry,
         )
-    series.append(extend_series)
-
+    ]
     heuristics = [
-        FrequencyHeuristic(optimizer),
-        PerformanceHeuristic(optimizer),
-        PerformanceHeuristic(optimizer, use_skyline=True),
-        BenefitPerSizeHeuristic(optimizer),
+        FrequencyHeuristic(optimizer, telemetry=telemetry),
+        PerformanceHeuristic(optimizer, telemetry=telemetry),
+        PerformanceHeuristic(
+            optimizer, use_skyline=True, telemetry=telemetry
+        ),
+        BenefitPerSizeHeuristic(optimizer, telemetry=telemetry),
     ]
     for heuristic in heuristics:
-        heuristic_series = BudgetSweepSeries(name=heuristic.name)
-        for w in budgets:
-            budget = relative_budget(workload.schema, w)
-            result = heuristic.select(workload, budget, exhaustive)
-            heuristic_series.add(
-                w, end_to_end(result.configuration), result.runtime_seconds
+        series.append(
+            sweep_heuristic(
+                workload,
+                budgets,
+                exhaustive,
+                heuristic,
+                cost_fn=end_to_end,
+                telemetry=telemetry,
             )
-        series.append(heuristic_series)
-
+        )
     for name, candidates in (
         (
             f"CoPhy/{int(config.cophy_share * 100)}%({len(reduced)})",
@@ -132,24 +148,19 @@ def run(config: Fig5Config | None = None) -> list[BudgetSweepSeries]:
         ),
         (f"CoPhy/all({len(exhaustive)})", exhaustive),
     ):
-        cophy = CoPhyAlgorithm(
-            optimizer,
-            mip_gap=config.mip_gap,
-            time_limit=config.time_limit,
-        )
-        cophy_series = BudgetSweepSeries(name=name)
-        for w in budgets:
-            budget = relative_budget(workload.schema, w)
-            try:
-                result = cophy.select(workload, budget, candidates)
-            except SolverTimeoutError:
-                cophy_series.add(w, float("inf"), config.time_limit)
-                cophy_series.notes.append(f"w={w:g}: DNF")
-                continue
-            cophy_series.add(
-                w, end_to_end(result.configuration), result.runtime_seconds
+        series.append(
+            sweep_cophy(
+                workload,
+                optimizer,
+                budgets,
+                candidates,
+                name=name,
+                mip_gap=config.mip_gap,
+                time_limit=config.time_limit,
+                cost_fn=end_to_end,
+                telemetry=telemetry,
             )
-        series.append(cophy_series)
+        )
     return series
 
 

@@ -24,6 +24,7 @@ from repro.exceptions import BudgetError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
 from repro.indexes.memory import index_memory
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.workload.query import Workload
 
 __all__ = ["RankingHeuristic"]
@@ -34,8 +35,14 @@ class RankingHeuristic(abc.ABC):
 
     name = "ranking"
 
-    def __init__(self, optimizer: WhatIfOptimizer) -> None:
+    def __init__(
+        self,
+        optimizer: WhatIfOptimizer,
+        *,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> None:
         self._optimizer = optimizer
+        self._telemetry = telemetry
 
     @property
     def optimizer(self) -> WhatIfOptimizer:
@@ -62,21 +69,40 @@ class RankingHeuristic(abc.ABC):
         """Greedy fill: take ranked candidates while the budget allows."""
         if budget < 0:
             raise BudgetError(f"budget must be >= 0, got {budget}")
+        telemetry = self._telemetry
+        tracer = telemetry.tracer
         started = time.perf_counter()
         calls_before = self._optimizer.calls
         schema = workload.schema
 
-        chosen: list[Index] = []
-        used = 0
-        for candidate in self.rank(workload, list(candidates)):
-            footprint = index_memory(schema, candidate)
-            if used + footprint > budget:
-                continue
-            chosen.append(candidate)
-            used += footprint
+        with tracer.span(
+            "heuristic.select",
+            algorithm=self.name,
+            candidates=len(candidates),
+        ) as run_span:
+            with tracer.span("heuristic.rank"):
+                ranked = self.rank(workload, list(candidates))
 
-        configuration = IndexConfiguration(chosen)
-        total_cost = self._optimizer.workload_cost(workload, configuration)
+            with tracer.span("heuristic.fill"):
+                chosen: list[Index] = []
+                used = 0
+                for candidate in ranked:
+                    footprint = index_memory(schema, candidate)
+                    if used + footprint > budget:
+                        continue
+                    chosen.append(candidate)
+                    used += footprint
+
+            configuration = IndexConfiguration(chosen)
+            total_cost = self._optimizer.workload_cost(
+                workload, configuration
+            )
+            if telemetry.enabled:
+                run_span.annotate("selected", len(chosen))
+                telemetry.metrics.counter(
+                    f"heuristic.{self.name}.selected"
+                ).increment(len(chosen))
+                telemetry.record_whatif(self._optimizer.statistics)
         return SelectionResult(
             algorithm=self.name,
             configuration=configuration,

@@ -58,8 +58,10 @@ class PerformanceHeuristic(RankingHeuristic):
         skyline method" in Fig. 5).
     """
 
-    def __init__(self, optimizer, *, use_skyline: bool = False) -> None:
-        super().__init__(optimizer)
+    def __init__(
+        self, optimizer, *, use_skyline: bool = False, **kwargs
+    ) -> None:
+        super().__init__(optimizer, **kwargs)
         self._use_skyline = use_skyline
         self.name = "H4+skyline" if use_skyline else "H4"
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.steps import SelectionResult
-from repro.cost.whatif import WhatIfOptimizer
+from repro.cost.whatif import WhatIfOptimizer, WhatIfStatistics
 from repro.exceptions import ExperimentError
 from repro.indexes.index import Index
 from repro.indexes.memory import index_memory
@@ -46,6 +46,11 @@ class AdvisorReport:
     residual_queries: tuple[tuple[Query, float], ...]
     """The most expensive queries under the selection (query, cost)."""
 
+    whatif_statistics: WhatIfStatistics | None = None
+    """What-if facade counters (backend calls, cache hits) accumulated
+    while computing this selection; ``None`` when the caller did not
+    capture them."""
+
     @property
     def improvement_factor(self) -> float:
         """No-index cost divided by selected cost."""
@@ -67,6 +72,16 @@ class AdvisorReport:
             f"{self.result.budget:,.0f} budget bytes",
             f"* what-if calls: {self.result.whatif_calls}, solve time: "
             f"{self.result.runtime_seconds:.3f}s",
+        ]
+        if self.whatif_statistics is not None:
+            statistics = self.whatif_statistics
+            lines.append(
+                f"* what-if cache: {statistics.cache_hits:,} hits / "
+                f"{statistics.total_requests:,} requests "
+                f"({statistics.hit_rate:.1%} hit rate, "
+                f"{statistics.calls:,} backend calls)"
+            )
+        lines += [
             "",
             "## Selected indexes (by marginal benefit)",
             "",
@@ -108,6 +123,7 @@ def build_report(
     result: SelectionResult,
     *,
     hot_spot_count: int = 5,
+    whatif_statistics: WhatIfStatistics | None = None,
 ) -> AdvisorReport:
     """Compute the full attribution report for a selection.
 
@@ -115,6 +131,10 @@ def build_report(
     only that index were dropped — the in-context value that accounts
     for index interaction (an index fully shadowed by another one shows
     a marginal benefit near zero even if it looked great in isolation).
+
+    ``whatif_statistics`` should be the counter *delta* of the selection
+    run (see :meth:`~repro.cost.whatif.WhatIfStatistics.since`); it is
+    surfaced verbatim in the rendered report's cache line.
     """
     if hot_spot_count < 0:
         raise ExperimentError(
@@ -177,4 +197,5 @@ def build_report(
         baseline_cost=baseline,
         indexes=tuple(index_reports),
         residual_queries=tuple(residual),
+        whatif_statistics=whatif_statistics,
     )

@@ -1,0 +1,59 @@
+"""Observability for the selection stack: tracing, metrics, step events.
+
+The paper's claims are operational — what-if call counts (Fig. 5) and
+solve-time scaling (Fig. 4) — so this package makes every run
+inspectable: where the time went (:mod:`~repro.telemetry.tracing`), what
+was counted (:mod:`~repro.telemetry.metrics`), and which candidate
+decisions Algorithm 1 took (:mod:`~repro.telemetry.events`).  Records
+flow to pluggable sinks (:mod:`~repro.telemetry.sinks`); the default
+in-memory sink has zero dependencies and the whole layer collapses to
+near-zero cost through :data:`NULL_TELEMETRY` when disabled.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, metric names, and
+sink formats.
+"""
+
+from repro.telemetry.events import StepEvent
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+)
+from repro.telemetry.session import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetrySnapshot,
+)
+from repro.telemetry.sinks import (
+    InMemorySink,
+    JsonLinesSink,
+    TelemetrySink,
+    read_jsonl,
+    render_metrics_table,
+    render_span_table,
+)
+from repro.telemetry.tracing import NO_OP_TRACER, NoOpTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "InMemorySink",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NO_OP_TRACER",
+    "NULL_TELEMETRY",
+    "NoOpTracer",
+    "Span",
+    "StepEvent",
+    "Telemetry",
+    "TelemetrySink",
+    "TelemetrySnapshot",
+    "Tracer",
+    "read_jsonl",
+    "render_metrics_table",
+    "render_span_table",
+]

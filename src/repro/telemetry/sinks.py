@@ -1,0 +1,167 @@
+"""Where telemetry records go.
+
+Three destinations cover the use cases of the repository:
+
+* :class:`InMemorySink` — the zero-dependency default; records stay in a
+  list for programmatic inspection (tests, ``Recommendation.telemetry``).
+* :class:`JsonLinesSink` — one JSON object per line, the interchange
+  format for traces (``python -m repro advise --trace run.jsonl``).
+* :func:`render_metrics_table` / :func:`render_span_table` — the
+  human-readable renderers the report layer embeds.
+
+Records are plain dicts tagged with a ``"type"`` key: ``"span"``,
+``"step"``, or ``"metrics"``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Iterable, Protocol
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.metrics import HistogramSummary
+from repro.telemetry.tracing import Span
+
+__all__ = [
+    "TelemetrySink",
+    "InMemorySink",
+    "JsonLinesSink",
+    "read_jsonl",
+    "render_metrics_table",
+    "render_span_table",
+]
+
+
+class TelemetrySink(Protocol):
+    """Destination for telemetry records."""
+
+    def emit(self, record: dict) -> None:
+        """Accept one record (a plain, JSON-serializable dict)."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Flush and release resources; emitting afterwards is an error."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemorySink:
+    """Keeps every record in a list — the default sink."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self._closed = False
+
+    def emit(self, record: dict) -> None:
+        if self._closed:
+            raise TelemetryError("emit() on a closed InMemorySink")
+        self.records.append(record)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def records_of(self, record_type: str) -> list[dict]:
+        """All records with the given ``"type"`` tag, in emit order."""
+        return [
+            record
+            for record in self.records
+            if record.get("type") == record_type
+        ]
+
+
+class JsonLinesSink:
+    """Appends one JSON object per record to a file.
+
+    Accepts a path (opened lazily, closed by :meth:`close`) or an
+    already-open text file object (left open by :meth:`close`, only
+    flushed — the caller owns it).
+    """
+
+    def __init__(self, destination: str | os.PathLike | io.TextIOBase):
+        if isinstance(destination, (str, os.PathLike)):
+            self._path: str | None = os.fspath(destination)
+            self._file: io.TextIOBase | None = None
+            self._owns_file = True
+        else:
+            self._path = None
+            self._file = destination
+            self._owns_file = False
+        self._closed = False
+
+    def emit(self, record: dict) -> None:
+        if self._closed:
+            raise TelemetryError("emit() on a closed JsonLinesSink")
+        if self._file is None:
+            assert self._path is not None
+            self._file = open(self._path, "w", encoding="utf-8")
+        json.dump(record, self._file, separators=(",", ":"))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._file is None:
+            return
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+def read_jsonl(path: str | os.PathLike) -> list[dict]:
+    """Load every record of a JSON-lines trace file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return f"{value:,}"
+    return f"{value:.6g}"
+
+
+def render_metrics_table(
+    snapshot: dict[str, int | float | HistogramSummary]
+) -> str:
+    """Render a metrics snapshot as an aligned plain-text table."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    rows = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, HistogramSummary):
+            rows.append(
+                (
+                    name,
+                    f"n={value.count} mean={value.mean:.6g} "
+                    f"p50={value.p50:.6g} p95={value.p95:.6g} "
+                    f"max={value.maximum:.6g}",
+                )
+            )
+        else:
+            rows.append((name, _format_value(value)))
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}}  {text}" for name, text in rows)
+
+
+def render_span_table(spans: Iterable[Span]) -> str:
+    """Render finished spans as an indented duration table."""
+    lines = []
+    for span in spans:
+        indent = "  " * span.depth
+        extra = ""
+        if span.status != "ok":
+            extra = f" [{span.status}]"
+        lines.append(
+            f"{indent}{span.name:<{max(30 - len(indent), 1)}} "
+            f"{span.duration_seconds * 1e3:9.3f} ms{extra}"
+        )
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Tests for step events and the sinks they flow through."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry import (
+    InMemorySink,
+    JsonLinesSink,
+    StepEvent,
+    Telemetry,
+)
+from repro.telemetry.sinks import read_jsonl
+
+
+def _chosen_event() -> StepEvent:
+    return StepEvent(
+        algorithm="H6",
+        step_number=1,
+        action="extension",
+        table="ORDERS",
+        index_before=(1,),
+        index_after=(1, 3),
+        chosen=True,
+        benefit=120.5,
+        memory_delta=4096,
+        ratio=120.5 / 4096,
+        cost_before=1000.0,
+        cost_after=879.5,
+        memory_before=40_000,
+        memory_after=44_096,
+        whatif_calls=12,
+        cache_hits=7,
+        candidates_considered=30,
+    )
+
+
+def _rejected_event() -> StepEvent:
+    return StepEvent(
+        algorithm="H6",
+        step_number=1,
+        action="new-index",
+        table="ITEMS",
+        index_before=None,
+        index_after=(4,),
+        chosen=False,
+        benefit=80.0,
+        memory_delta=8192,
+        ratio=80.0 / 8192,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "event", [_chosen_event(), _rejected_event()]
+    )
+    def test_to_dict_from_dict(self, event):
+        assert StepEvent.from_dict(event.to_dict()) == event
+
+    def test_to_dict_is_json_friendly(self):
+        record = _chosen_event().to_dict()
+        assert record["type"] == "step"
+        assert record["index_before"] == [1]
+        assert record["index_after"] == [1, 3]
+
+    def test_from_dict_rejects_other_record_types(self):
+        with pytest.raises(TelemetryError):
+            StepEvent.from_dict({"type": "span", "name": "s"})
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonLinesSink(path)
+        events = [_chosen_event(), _rejected_event()]
+        for event in events:
+            sink.emit(event.to_dict())
+        sink.close()
+        restored = [
+            StepEvent.from_dict(record) for record in read_jsonl(path)
+        ]
+        assert restored == events
+
+
+class TestSinks:
+    def test_in_memory_sink_filters_by_type(self):
+        sink = InMemorySink()
+        sink.emit({"type": "span", "name": "s"})
+        sink.emit(_chosen_event().to_dict())
+        assert len(sink.records_of("step")) == 1
+        assert len(sink.records_of("span")) == 1
+
+    def test_emit_after_close_raises(self, tmp_path):
+        memory_sink = InMemorySink()
+        memory_sink.close()
+        with pytest.raises(TelemetryError):
+            memory_sink.emit({"type": "step"})
+        file_sink = JsonLinesSink(tmp_path / "t.jsonl")
+        file_sink.close()
+        with pytest.raises(TelemetryError):
+            file_sink.emit({"type": "step"})
+
+    def test_file_like_destination_stays_open(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            sink = JsonLinesSink(handle)
+            sink.emit({"type": "step"})
+            sink.close()
+            assert not handle.closed
+
+
+class TestTelemetrySession:
+    def test_emit_step_records_and_forwards(self):
+        sink = InMemorySink()
+        telemetry = Telemetry(sinks=(sink,))
+        event = _chosen_event()
+        telemetry.emit_step(event)
+        assert telemetry.events == [event]
+        assert sink.records_of("step") == [event.to_dict()]
+
+    def test_close_appends_final_metrics_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(sinks=(JsonLinesSink(path),))
+        telemetry.metrics.counter("extend.steps").increment(3)
+        telemetry.metrics.histogram("h").record(1.0)
+        telemetry.close()
+        telemetry.close()  # idempotent
+        [record] = read_jsonl(path)
+        assert record["type"] == "metrics"
+        assert record["metrics"]["extend.steps"] == 3
+        assert record["metrics"]["h"]["count"] == 1
+
+    def test_snapshot_chosen_events(self):
+        telemetry = Telemetry()
+        telemetry.emit_step(_chosen_event())
+        telemetry.emit_step(_rejected_event())
+        snapshot = telemetry.snapshot()
+        assert len(snapshot.events) == 2
+        assert [event.chosen for event in snapshot.chosen_events()] == [
+            True
+        ]

@@ -1,0 +1,124 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import Histogram, HistogramSummary
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(TelemetryError):
+            counter.increment(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary.count == 4
+        assert summary.total == 10.0
+        assert summary.mean == 2.5
+        assert summary.maximum == 4.0
+
+    def test_percentiles_from_full_reservoir(self):
+        histogram = Histogram("h", capacity=1000)
+        for value in range(100):
+            histogram.record(float(value))
+        assert histogram.percentile(0.0) == 0.0
+        assert histogram.percentile(0.5) == 50.0
+        assert histogram.percentile(1.0) == 99.0
+
+    def test_reservoir_is_bounded_but_aggregates_exact(self):
+        histogram = Histogram("h", capacity=8)
+        for value in range(1000):
+            histogram.record(float(value))
+        assert len(histogram._reservoir) == 8
+        assert histogram.count == 1000
+        assert histogram.maximum == 999.0
+        assert histogram.total == sum(range(1000))
+
+    def test_deterministic_across_runs(self):
+        def build():
+            histogram = Histogram("h", capacity=16)
+            for value in range(500):
+                histogram.record(float(value))
+            return histogram.summary()
+
+        assert build() == build()
+
+    def test_empty_histogram_summary(self):
+        summary = Histogram("h").summary()
+        assert summary == HistogramSummary(
+            count=0, total=0.0, mean=0.0, p50=0.0, p95=0.0, maximum=0.0
+        )
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h").percentile(1.5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", capacity=0)
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+        with pytest.raises(TelemetryError):
+            registry.histogram("x")
+
+    def test_contains_and_len(self):
+        registry = MetricsRegistry()
+        assert "x" not in registry
+        assert len(registry) == 0
+        registry.counter("x")
+        registry.gauge("y")
+        assert "x" in registry
+        assert len(registry) == 2
+
+    def test_snapshot_is_isolated(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment(2)
+        registry.histogram("h").record(1.0)
+        snapshot = registry.snapshot()
+        registry.counter("c").increment(10)
+        registry.histogram("h").record(100.0)
+        assert snapshot["c"] == 2
+        assert snapshot["h"].count == 1
+
+    def test_snapshot_summarizes_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").record(2.0)
+        snapshot = registry.snapshot()
+        assert isinstance(snapshot["h"], HistogramSummary)
+        assert snapshot["h"].to_dict()["max"] == 2.0

@@ -1,0 +1,124 @@
+"""Tests for the span tracer and its no-op twin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import NO_OP_TRACER, MetricsRegistry, Tracer
+from repro.telemetry.sinks import InMemorySink
+
+
+class TestNesting:
+    def test_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = {span.name: span for span in tracer.spans}
+        assert names["outer"].parent_name is None
+        assert names["outer"].depth == 0
+        assert names["inner"].parent_name == "outer"
+        assert names["inner"].depth == 1
+
+    def test_inner_spans_finish_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_attributes_and_annotations(self):
+        tracer = Tracer()
+        with tracer.span("s", step=3) as span:
+            span.annotate("outcome", "applied")
+        finished = tracer.spans[0]
+        assert finished.attributes == {"step": 3, "outcome": "applied"}
+
+    def test_duration_is_monotone(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            live = span.duration_seconds
+        assert span.finished
+        assert span.duration_seconds >= live >= 0.0
+
+
+class TestExceptionSafety:
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("s"):
+                raise ValueError("boom")
+        span = tracer.spans[0]
+        assert span.status == "error"
+        assert span.attributes["error"] == "ValueError: boom"
+        assert span.finished
+
+    def test_abandoned_inner_spans_are_closed(self):
+        tracer = Tracer()
+        # Simulate an inner context that never exits (e.g. a generator
+        # abandoned mid-iteration): closing the outer span must not
+        # leave the stack corrupted.
+        outer_context = tracer.span("outer")
+        outer = outer_context.__enter__()
+        inner_context = tracer.span("inner")
+        inner_context.__enter__()
+        outer_context.__exit__(None, None, None)
+        assert tracer.current is None
+        statuses = {span.name: span.status for span in tracer.spans}
+        assert statuses == {"outer": "ok", "inner": "abandoned"}
+        assert outer.finished
+
+
+class TestIntegrations:
+    def test_records_duration_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("extend.step"):
+            pass
+        with tracer.span("extend.step"):
+            pass
+        summary = registry.histogram("span.extend.step.seconds").summary()
+        assert summary.count == 2
+        assert summary.maximum >= 0.0
+
+    def test_emits_finished_spans_to_sinks(self):
+        sink = InMemorySink()
+        tracer = Tracer(sinks=(sink,))
+        with tracer.span("s", w=0.3):
+            pass
+        [record] = sink.records
+        assert record["type"] == "span"
+        assert record["name"] == "s"
+        assert record["attributes"] == {"w": 0.3}
+        assert record["status"] == "ok"
+
+
+class TestNoOpTracer:
+    def test_disabled_and_stateless(self):
+        assert NO_OP_TRACER.enabled is False
+        assert NO_OP_TRACER.current is None
+        assert NO_OP_TRACER.spans == ()
+
+    def test_shared_context_is_reusable(self):
+        first = NO_OP_TRACER.span("a", x=1)
+        second = NO_OP_TRACER.span("b")
+        assert first is second
+        with first as span:
+            span.annotate("ignored", True)
+            assert span.attributes == {}
+        assert NO_OP_TRACER.spans == ()
+
+    def test_never_swallows_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NO_OP_TRACER.span("s"):
+                raise RuntimeError("propagates")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -63,7 +65,7 @@ class TestAdvise:
         assert exit_code == 0
         assert "Recommended indexes:" in capsys.readouterr().out
 
-    def test_trace_flag(self, capsys):
+    def test_steps_flag(self, capsys):
         exit_code = main(
             [
                 "advise",
@@ -71,11 +73,49 @@ class TestAdvise:
                 "--attributes", "5",
                 "--queries", "5",
                 "--budget", "0.3",
-                "--trace",
+                "--steps",
             ]
         )
         assert exit_code == 0
         assert "Construction trace:" in capsys.readouterr().out
+
+    def test_trace_file_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        exit_code = main(
+            [
+                "advise",
+                "--tables", "2",
+                "--attributes", "5",
+                "--queries", "5",
+                "--budget", "0.3",
+                "--trace", str(trace_path),
+                "--metrics",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Telemetry metrics:" in output
+        assert "span.extend.step.seconds" in output
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line
+        ]
+        types = {record["type"] for record in records}
+        assert {"span", "step", "metrics"} <= types
+
+    def test_whatif_cache_line(self, capsys):
+        exit_code = main(
+            [
+                "advise",
+                "--tables", "2",
+                "--attributes", "5",
+                "--queries", "5",
+                "--budget", "0.3",
+            ]
+        )
+        assert exit_code == 0
+        assert "What-if cache:" in capsys.readouterr().out
 
     def test_erp_workload(self, capsys):
         exit_code = main(
