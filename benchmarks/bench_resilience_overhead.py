@@ -1,0 +1,94 @@
+"""Benchmark: overhead of the resilience wrapper on a healthy backend.
+
+Every advisor run now routes cost calls through
+:class:`~repro.resilience.ResilientCostSource`.  On the happy path
+(healthy backend, closed breaker) that wrapper adds one cache-key build,
+one breaker check, and one stale-cache store per backend call — it must
+stay cheap relative to the pricing work itself.  These benchmarks time
+an Extend run against the bare analytic source, the resilient wrapper,
+and the wrapper under a 20% injected fault rate (retries plus fallback
+pricing), and assert all three select the identical configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.indexes.memory import relative_budget
+from repro.resilience import (
+    FaultInjectingCostSource,
+    ResiliencePolicy,
+    ResilientCostSource,
+)
+
+_NO_SLEEP = ResiliencePolicy(max_retries=10, backoff_base_s=0.0)
+
+
+@pytest.fixture(scope="module")
+def budget(bench_workload):
+    return relative_budget(bench_workload.schema, 0.25)
+
+
+@pytest.fixture(scope="module")
+def reference(bench_workload, budget):
+    """The fault-free selection every variant must reproduce."""
+    optimizer = WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(bench_workload.schema))
+    )
+    return ExtendAlgorithm(optimizer).select(bench_workload, budget)
+
+
+def _select(source, workload, budget):
+    return ExtendAlgorithm(WhatIfOptimizer(source)).select(
+        workload, budget
+    )
+
+
+def test_bare_analytic_source(
+    benchmark, bench_workload, budget, reference
+):
+    analytical = AnalyticalCostSource(CostModel(bench_workload.schema))
+    result = benchmark(
+        lambda: _select(analytical, bench_workload, budget)
+    )
+    assert result.configuration == reference.configuration
+
+
+def test_resilient_wrapper_healthy(
+    benchmark, bench_workload, budget, reference
+):
+    analytical = AnalyticalCostSource(CostModel(bench_workload.schema))
+    result = benchmark(
+        lambda: _select(
+            ResilientCostSource(analytical, policy=_NO_SLEEP),
+            bench_workload,
+            budget,
+        )
+    )
+    assert result.configuration == reference.configuration
+
+
+def test_resilient_wrapper_20pct_faults(
+    benchmark, bench_workload, budget, reference
+):
+    analytical = AnalyticalCostSource(CostModel(bench_workload.schema))
+
+    def run():
+        flaky = FaultInjectingCostSource(
+            analytical, failure_rate=0.2, seed=1909
+        )
+        return _select(
+            ResilientCostSource(
+                flaky, policy=_NO_SLEEP, fallbacks=(analytical,)
+            ),
+            bench_workload,
+            budget,
+        )
+
+    result = benchmark(run)
+    # Retries and fallbacks are transparent: identical selection.
+    assert result.configuration == reference.configuration
+    assert result.total_cost == pytest.approx(reference.total_cost)

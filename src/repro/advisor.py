@@ -19,16 +19,25 @@ footprint (Eq. 10) or as absolute bytes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.cophy.solver import CoPhyAlgorithm
 from repro.core.extend import ExtendAlgorithm
 from repro.core.localsearch import swap_local_search
-from repro.core.steps import SelectionResult
+from repro.core.steps import STATUS_DEGRADED, SelectionResult
 from repro.cost.model import CostModel
-from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
-from repro.exceptions import BudgetError, ExperimentError
+from repro.cost.whatif import (
+    AnalyticalCostSource,
+    CostSource,
+    WhatIfOptimizer,
+)
+from repro.exceptions import (
+    BudgetError,
+    ExperimentError,
+    SolverError,
+)
 from repro.heuristics.performance import (
     BenefitPerSizeHeuristic,
     PerformanceHeuristic,
@@ -41,6 +50,11 @@ from repro.heuristics.rules import (
 from repro.indexes.candidates import syntactically_relevant_candidates
 from repro.indexes.memory import relative_budget
 from repro.report import AdvisorReport, build_report
+from repro.resilience import (
+    Deadline,
+    ResiliencePolicy,
+    ResilientCostSource,
+)
 from repro.telemetry import (
     NULL_TELEMETRY,
     Telemetry,
@@ -95,6 +109,26 @@ class IndexAdvisor:
     The advisor owns a shared what-if facade, so repeated calls (more
     budgets, different algorithms, drifted workloads) reuse all cached
     cost estimates.
+
+    The cost backend is always wrapped in a
+    :class:`~repro.resilience.ResilientCostSource` whose fallback chain
+    ends at the Appendix B analytic model: a flaky ``cost_source``
+    (e.g. a remote plan-costing service or the fault-injection harness)
+    is retried, breaker-protected, and ultimately degraded to
+    fallback-priced answers instead of crashing the recommendation.
+
+    Parameters
+    ----------
+    schema:
+        The schema recommendations are made for.
+    telemetry:
+        Observability session shared by all runs of this advisor.
+    cost_source:
+        The primary what-if backend; defaults to the (infallible)
+        analytic model.
+    resilience:
+        Default retry/breaker policy; can be overridden per call via
+        ``recommend(resilience=...)``.
     """
 
     def __init__(
@@ -102,11 +136,17 @@ class IndexAdvisor:
         schema: Schema,
         *,
         telemetry: Telemetry = NULL_TELEMETRY,
+        cost_source: CostSource | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         self._schema = schema
-        self._optimizer = WhatIfOptimizer(
-            AnalyticalCostSource(CostModel(schema))
+        analytical = AnalyticalCostSource(CostModel(schema))
+        primary = cost_source if cost_source is not None else analytical
+        fallbacks = () if primary is analytical else (analytical,)
+        self._resilient = ResilientCostSource(
+            primary, policy=resilience, fallbacks=fallbacks
         )
+        self._optimizer = WhatIfOptimizer(self._resilient)
         self._telemetry = telemetry
 
     @property
@@ -123,6 +163,11 @@ class IndexAdvisor:
     def optimizer(self) -> WhatIfOptimizer:
         """The shared what-if facade (exposed for call accounting)."""
         return self._optimizer
+
+    @property
+    def resilience(self) -> ResilientCostSource:
+        """The resilient cost backend (breaker, retry counters)."""
+        return self._resilient
 
     # ------------------------------------------------------------------
     # Input coercion
@@ -175,6 +220,9 @@ class IndexAdvisor:
         algorithm: str = "extend+swap",
         candidate_width: int = 4,
         hot_spot_count: int = 5,
+        deadline_s: float | None = None,
+        resilience: ResiliencePolicy | None = None,
+        solver_time_limit: float = 120.0,
     ) -> Recommendation:
         """Compute an index recommendation.
 
@@ -194,6 +242,18 @@ class IndexAdvisor:
             algorithms (ignored by extend variants).
         hot_spot_count:
             How many residual hot spots the report lists.
+        deadline_s:
+            Wall-clock budget for the selection.  On expiry, algorithms
+            return their feasible best-so-far configuration with
+            ``result.status == "degraded"`` instead of running over.
+        resilience:
+            Retry/breaker policy applied to the cost backend for this
+            and subsequent calls (breaker state survives the swap).
+        solver_time_limit:
+            Time limit in seconds for the CoPhy MIP solve (default
+            120.0); a tighter ``deadline_s`` caps it further.  When the
+            solver fails or times out without an incumbent, the advisor
+            falls back to Extend and tags the result ``degraded``.
         """
         if algorithm not in _ALGORITHMS:
             raise ExperimentError(
@@ -202,6 +262,9 @@ class IndexAdvisor:
             )
         resolved = self._coerce_workload(workload)
         budget = self._coerce_budget(budget_share, budget_bytes)
+        if resilience is not None:
+            self._resilient.policy = resilience
+        deadline = Deadline(deadline_s)
         telemetry = self._telemetry
 
         stats_before = self._optimizer.statistics.copy()
@@ -209,7 +272,12 @@ class IndexAdvisor:
             "advisor.recommend", algorithm=algorithm
         ):
             result = self._run(
-                resolved, budget, algorithm, candidate_width
+                resolved,
+                budget,
+                algorithm,
+                candidate_width,
+                deadline,
+                solver_time_limit,
             )
             run_statistics = self._optimizer.statistics.since(
                 stats_before
@@ -224,6 +292,7 @@ class IndexAdvisor:
                 )
         if telemetry.enabled:
             telemetry.record_whatif(self._optimizer.statistics)
+            telemetry.record_resilience(self._resilient.statistics)
         return Recommendation(
             workload=resolved,
             result=result,
@@ -237,12 +306,14 @@ class IndexAdvisor:
         budget: float,
         algorithm: str,
         candidate_width: int,
+        deadline: Deadline,
+        solver_time_limit: float,
     ) -> SelectionResult:
         telemetry = self._telemetry
         if algorithm in ("extend", "extend+swap"):
             result = ExtendAlgorithm(
                 self._optimizer, telemetry=telemetry
-            ).select(workload, budget)
+            ).select(workload, budget, deadline=deadline)
             if algorithm == "extend+swap":
                 candidates = syntactically_relevant_candidates(
                     workload, candidate_width
@@ -254,6 +325,7 @@ class IndexAdvisor:
                     budget,
                     candidates,
                     telemetry=telemetry,
+                    deadline=deadline,
                 )
             return result
 
@@ -261,9 +333,26 @@ class IndexAdvisor:
             workload, candidate_width
         )
         if algorithm == "cophy":
-            return CoPhyAlgorithm(
-                self._optimizer, time_limit=120.0, telemetry=telemetry
-            ).select(workload, budget, candidates)
+            try:
+                return CoPhyAlgorithm(
+                    self._optimizer,
+                    time_limit=solver_time_limit,
+                    telemetry=telemetry,
+                ).select(workload, budget, candidates, deadline=deadline)
+            except SolverError:
+                # DNF (Table I) or solver failure: degrade to Extend —
+                # a recommendation under the same budget and deadline
+                # beats no recommendation at all.
+                if telemetry.enabled:
+                    telemetry.metrics.counter(
+                        "advisor.solver_fallbacks"
+                    ).increment()
+                fallback = ExtendAlgorithm(
+                    self._optimizer, telemetry=telemetry
+                ).select(workload, budget, deadline=deadline)
+                return dataclasses.replace(
+                    fallback, status=STATUS_DEGRADED
+                )
         heuristics = {
             "h1": FrequencyHeuristic,
             "h2": SelectivityHeuristic,
@@ -273,12 +362,12 @@ class IndexAdvisor:
         if algorithm in heuristics:
             return heuristics[algorithm](
                 self._optimizer, telemetry=telemetry
-            ).select(workload, budget, candidates)
+            ).select(workload, budget, candidates, deadline=deadline)
         if algorithm == "h4":
             return PerformanceHeuristic(
                 self._optimizer, telemetry=telemetry
-            ).select(workload, budget, candidates)
+            ).select(workload, budget, candidates, deadline=deadline)
         assert algorithm == "h4+skyline"
         return PerformanceHeuristic(
             self._optimizer, use_skyline=True, telemetry=telemetry
-        ).select(workload, budget, candidates)
+        ).select(workload, budget, candidates, deadline=deadline)

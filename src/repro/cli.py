@@ -9,11 +9,17 @@ Two subcommands:
       python -m repro advise --workload appendix-c --algorithm cophy \\
           --budget 0.2 --candidates 200
       python -m repro advise --budget 0.3 --trace run.jsonl --metrics
+      python -m repro advise --budget 0.3 --deadline 5 \\
+          --fault-rate 0.2 --max-retries 5
 
   ``--trace FILE`` writes a JSON-lines telemetry trace (spans, step
   events, final metrics — see docs/OBSERVABILITY.md); ``--metrics``
   prints the metrics table; ``--steps`` prints the construction-step
-  table (Extend only).
+  table (Extend only).  ``--deadline`` bounds the selection wall-clock
+  (best-so-far results come back tagged ``degraded``); ``--fault-rate``
+  injects seeded transient cost-backend failures (the resilience
+  harness), retried up to ``--max-retries`` times before the analytic
+  fallback prices the call.
 
 * ``experiment`` — run one of the paper-artifact harnesses, e.g.::
 
@@ -33,7 +39,7 @@ from repro.core.extend import ExtendAlgorithm
 from repro.core.steps import SelectionResult, format_steps
 from repro.cost.model import CostModel
 from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ReproError
 from repro.heuristics.performance import (
     BenefitPerSizeHeuristic,
     PerformanceHeuristic,
@@ -48,6 +54,12 @@ from repro.indexes.candidates import (
     syntactically_relevant_candidates,
 )
 from repro.indexes.memory import relative_budget
+from repro.resilience import (
+    Deadline,
+    FaultInjectingCostSource,
+    ResiliencePolicy,
+    ResilientCostSource,
+)
 from repro.telemetry import (
     NULL_TELEMETRY,
     JsonLinesSink,
@@ -95,11 +107,12 @@ def _run_algorithm(
     optimizer: WhatIfOptimizer,
     budget: float,
     telemetry: Telemetry,
+    deadline: Deadline,
 ) -> SelectionResult:
     name = arguments.algorithm
     if name == "extend":
         return ExtendAlgorithm(optimizer, telemetry=telemetry).select(
-            workload, budget
+            workload, budget, deadline=deadline
         )
 
     if arguments.candidates:
@@ -112,7 +125,7 @@ def _run_algorithm(
             optimizer,
             time_limit=arguments.time_limit,
             telemetry=telemetry,
-        ).select(workload, budget, candidates)
+        ).select(workload, budget, candidates, deadline=deadline)
     heuristic_types = {
         "h1": FrequencyHeuristic,
         "h2": SelectivityHeuristic,
@@ -122,23 +135,53 @@ def _run_algorithm(
     if name in heuristic_types:
         return heuristic_types[name](
             optimizer, telemetry=telemetry
-        ).select(workload, budget, candidates)
+        ).select(workload, budget, candidates, deadline=deadline)
     if name == "h4":
         return PerformanceHeuristic(
             optimizer, telemetry=telemetry
-        ).select(workload, budget, candidates)
+        ).select(workload, budget, candidates, deadline=deadline)
     if name == "h4s":
         return PerformanceHeuristic(
             optimizer, use_skyline=True, telemetry=telemetry
-        ).select(workload, budget, candidates)
+        ).select(workload, budget, candidates, deadline=deadline)
     raise ExperimentError(f"unknown algorithm {name!r}")
+
+
+def _build_cost_stack(
+    arguments: argparse.Namespace, workload: Workload
+) -> tuple[WhatIfOptimizer, ResilientCostSource,
+           FaultInjectingCostSource | None]:
+    """Assemble analytic backend → fault injector → resilient wrapper."""
+    analytical = AnalyticalCostSource(CostModel(workload.schema))
+    injector: FaultInjectingCostSource | None = None
+    primary = analytical
+    fallbacks: tuple = ()
+    if arguments.fault_rate > 0:
+        injector = FaultInjectingCostSource(
+            analytical,
+            failure_rate=arguments.fault_rate,
+            seed=arguments.fault_seed,
+        )
+        primary = injector
+        fallbacks = (analytical,)
+    resilient = ResilientCostSource(
+        primary,
+        policy=ResiliencePolicy(
+            max_retries=arguments.max_retries,
+            # CLI runs are interactive; do not sleep between retries.
+            backoff_base_s=0.0,
+        ),
+        fallbacks=fallbacks,
+    )
+    return WhatIfOptimizer(resilient), resilient, injector
 
 
 def _advise(arguments: argparse.Namespace) -> int:
     workload = _build_workload(arguments)
-    optimizer = WhatIfOptimizer(
-        AnalyticalCostSource(CostModel(workload.schema))
+    optimizer, resilient, injector = _build_cost_stack(
+        arguments, workload
     )
+    deadline = Deadline(arguments.deadline)
     budget = relative_budget(workload.schema, arguments.budget)
     print(
         f"Workload: {workload.query_count} queries over "
@@ -163,11 +206,16 @@ def _advise(arguments: argparse.Namespace) -> int:
     else:
         telemetry = NULL_TELEMETRY
     result = _run_algorithm(
-        arguments, workload, optimizer, budget, telemetry
+        arguments, workload, optimizer, budget, telemetry, deadline
     )
     baseline = optimizer.workload_cost(workload, ())
     statistics = optimizer.statistics
     print(result.summary())
+    if result.degraded:
+        print(
+            "note: run was degraded (deadline or backend trouble); "
+            "the configuration is feasible best-so-far"
+        )
     print(
         f"Cost without indexes: {baseline:.6g} "
         f"({baseline / max(result.total_cost, 1e-12):.1f}x improvement)"
@@ -177,6 +225,14 @@ def _advise(arguments: argparse.Namespace) -> int:
         f"{statistics.total_requests:,} requests "
         f"({statistics.hit_rate:.1%} hit rate)"
     )
+    if injector is not None:
+        resilience_stats = resilient.statistics
+        print(
+            f"Resilience: {injector.statistics.injected_failures:,} "
+            f"injected faults, {resilience_stats.retries:,} retries, "
+            f"{resilience_stats.fallback_calls:,} fallback calls, "
+            f"breaker {resilience_stats.breaker_state.name.lower()}"
+        )
     print("\nRecommended indexes:")
     for index in sorted(
         result.configuration,
@@ -188,6 +244,9 @@ def _advise(arguments: argparse.Namespace) -> int:
         print(format_steps(result.steps, workload.schema))
     if telemetry.enabled:
         statistics.publish(telemetry.metrics)
+        resilient.statistics.publish(telemetry.metrics)
+        if injector is not None:
+            injector.statistics.publish(telemetry.metrics)
         if arguments.metrics:
             print("\nTelemetry metrics:")
             print(render_metrics_table(telemetry.metrics.snapshot()))
@@ -242,6 +301,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     advise.add_argument("--time-limit", type=float, default=120.0)
     advise.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the selection; on expiry the "
+        "best-so-far configuration is returned tagged 'degraded'",
+    )
+    advise.add_argument(
+        "--max-retries", type=int, default=3,
+        help="retries per failing cost-backend call before falling "
+        "back (default 3)",
+    )
+    advise.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="inject seeded transient cost-backend failures with "
+        "probability P (resilience test harness; default 0)",
+    )
+    advise.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault-injection RNG (default 0)",
+    )
+    advise.add_argument(
         "--steps", action="store_true",
         help="print the construction-step table (Extend only)",
     )
@@ -267,7 +345,14 @@ def main(argv: list[str] | None = None) -> int:
     experiment.set_defaults(handler=_experiment)
 
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        # Library errors are user/input errors from the CLI's point of
+        # view: one readable line, exit 2.  Programming errors
+        # (TypeError etc.) still propagate with a full traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -17,13 +17,18 @@ import time
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.core.steps import SelectionResult
+from repro.core.steps import (
+    STATUS_COMPLETED,
+    STATUS_DEGRADED,
+    SelectionResult,
+)
 from repro.cophy.model import CoPhyProblem, build_problem
 from repro.cost.whatif import WhatIfOptimizer
 from repro.exceptions import SolverError, SolverTimeoutError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
 from repro.indexes.memory import configuration_memory
+from repro.resilience.deadline import Deadline
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.workload.query import Workload
 
@@ -95,15 +100,25 @@ class CoPhyAlgorithm:
         workload: Workload,
         budget: float,
         candidates: list[Index],
+        *,
+        deadline: Deadline | None = None,
     ) -> CoPhyResult:
         """Solve (5)–(8) and return the selected configuration.
 
         ``runtime_seconds`` covers the solver only; the what-if calls
         needed to build the cost table are counted in ``whatif_calls``
         (the paper reports the two contributions separately).
+
+        A ``deadline`` caps the effective solver time limit at its
+        remaining budget (the MIP solve itself cannot be interrupted
+        from outside, so the deadline must be applied up front).  A
+        solve that hits the limit *with* a feasible incumbent returns
+        it flagged ``timed_out=True`` and ``status="degraded"``; one
+        without any incumbent raises :class:`SolverTimeoutError`.
         """
         telemetry = self._telemetry
         tracer = telemetry.tracer
+        deadline = deadline or Deadline.none()
         calls_before = self._optimizer.calls
         with tracer.span(
             "cophy.build_problem", candidates=len(candidates)
@@ -113,9 +128,22 @@ class CoPhyAlgorithm:
             )
         whatif_calls = self._optimizer.calls - calls_before
 
+        time_limit = self._time_limit
+        if not deadline.unlimited:
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                raise SolverTimeoutError(
+                    "deadline expired before the CoPhy solve started"
+                )
+            time_limit = (
+                remaining
+                if time_limit is None
+                else min(time_limit, remaining)
+            )
+
         started = time.perf_counter()
         with tracer.span("cophy.solve") as solve_span:
-            solution, timed_out = self._solve(problem)
+            solution, timed_out = self._solve(problem, time_limit)
             solve_span.annotate("timed_out", timed_out)
         runtime = time.perf_counter() - started
 
@@ -146,17 +174,20 @@ class CoPhyAlgorithm:
             constraints=problem.size.constraints,
             mip_gap=self._mip_gap,
             timed_out=timed_out,
+            status=STATUS_DEGRADED if timed_out else STATUS_COMPLETED,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _solve(self, problem: CoPhyProblem) -> tuple[np.ndarray, bool]:
+    def _solve(
+        self, problem: CoPhyProblem, time_limit: float | None
+    ) -> tuple[np.ndarray, bool]:
         variable_count = problem.constraint_matrix.shape[1]
         options: dict[str, float] = {"mip_rel_gap": self._mip_gap}
-        if self._time_limit is not None:
-            options["time_limit"] = self._time_limit
+        if time_limit is not None:
+            options["time_limit"] = time_limit
         result = milp(
             c=problem.objective,
             constraints=LinearConstraint(
@@ -173,7 +204,7 @@ class CoPhyAlgorithm:
             if timed_out:
                 raise SolverTimeoutError(
                     "CoPhy solve hit the time limit "
-                    f"({self._time_limit}s) without a feasible incumbent "
+                    f"({time_limit}s) without a feasible incumbent "
                     "(DNF)"
                 )
             raise SolverError(

@@ -37,12 +37,19 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.budget import NO_RECONFIGURATION, ReconfigurationModel
-from repro.core.steps import ConstructionStep, SelectionResult, StepKind
+from repro.core.steps import (
+    STATUS_COMPLETED,
+    STATUS_DEGRADED,
+    ConstructionStep,
+    SelectionResult,
+    StepKind,
+)
 from repro.cost.whatif import WhatIfOptimizer
 from repro.exceptions import BudgetError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index, canonical_index
 from repro.indexes.memory import index_memory
+from repro.resilience.deadline import Deadline
 from repro.telemetry import NULL_TELEMETRY, StepEvent, Telemetry
 from repro.workload.query import Workload
 
@@ -218,16 +225,28 @@ class ExtendAlgorithm:
     # Public API
     # ------------------------------------------------------------------
 
-    def select(self, workload: Workload, budget: float) -> ExtendResult:
+    def select(
+        self,
+        workload: Workload,
+        budget: float,
+        *,
+        deadline: Deadline | None = None,
+    ) -> ExtendResult:
         """Run the construction until the budget (or another stop) hits.
 
         Following Definition 1 (H6), the step series is applied "as long
         as A is not exceeded": construction stops at the first step whose
         memory would overshoot ``budget``.  Other stop criteria: no step
-        with positive net benefit remains, or ``max_steps`` is reached.
+        with positive net benefit remains, ``max_steps`` is reached, or
+        ``deadline`` expired — the last case returns the feasible
+        best-so-far configuration with ``status="degraded"`` (every
+        applied step left the selection within budget, so truncation is
+        always safe).
         """
         if budget < 0:
             raise BudgetError(f"budget must be >= 0, got {budget}")
+        deadline = deadline or Deadline.none()
+        status = STATUS_COMPLETED
         telemetry = self._telemetry
         tracer = telemetry.tracer
         statistics = self._optimizer.statistics
@@ -258,6 +277,9 @@ class ExtendAlgorithm:
                 runner_request = max(runner_request, _REJECTED_LOG_COUNT)
 
             while self._max_steps is None or len(steps) < self._max_steps:
+                if deadline.expired:
+                    status = STATUS_DEGRADED
+                    break
                 step_number = len(steps) + 1
                 step_calls = statistics.calls
                 step_hits = statistics.cache_hits
@@ -325,6 +347,7 @@ class ExtendAlgorithm:
             )
             if telemetry.enabled:
                 run_span.annotate("steps", len(steps))
+                run_span.annotate("status", status)
                 run_span.annotate("total_cost", state.total_cost)
                 run_span.annotate("memory", state.memory)
                 telemetry.metrics.gauge("extend.memory").set(state.memory)
@@ -345,6 +368,7 @@ class ExtendAlgorithm:
             whatif_calls=statistics.calls - calls_before,
             reconfiguration_cost=reconfiguration_cost,
             steps=tuple(steps),
+            status=status,
         )
 
     def _emit_step_events(

@@ -23,12 +23,13 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.steps import SelectionResult
+from repro.core.steps import STATUS_DEGRADED, SelectionResult
 from repro.cost.whatif import WhatIfOptimizer
 from repro.exceptions import BudgetError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
 from repro.indexes.memory import index_memory
+from repro.resilience.deadline import Deadline
 from repro.telemetry import NULL_TELEMETRY, StepEvent, Telemetry
 from repro.workload.query import Workload
 
@@ -111,6 +112,7 @@ def swap_local_search(
     max_rounds: int = 20,
     max_pool: int = 500,
     telemetry: Telemetry = NULL_TELEMETRY,
+    deadline: Deadline | None = None,
 ) -> SelectionResult:
     """Improve a selection by budget-respecting swaps.
 
@@ -126,15 +128,23 @@ def swap_local_search(
         Upper bound on improving swaps (each round changes the
         configuration, so convergence is guaranteed anyway — costs
         strictly decrease).
+    deadline:
+        Optional wall-clock budget.  The search stops at the next round
+        boundary once expired and the result is tagged ``degraded``
+        (every completed swap already improved on the input, so
+        stopping early is always safe).
 
     Returns
     -------
     SelectionResult
         A result with the same algorithm name suffixed ``"+swap"``;
-        identical to the input if no improving swap exists.
+        identical to the input if no improving swap exists.  A
+        ``degraded`` input stays degraded.
     """
     if budget < 0:
         raise BudgetError(f"budget must be >= 0, got {budget}")
+    deadline = deadline or Deadline.none()
+    status = result.status
     started = time.perf_counter()
     statistics = optimizer.statistics
     calls_before = statistics.calls
@@ -191,6 +201,9 @@ def swap_local_search(
         rounds = 0
         swaps = 0
         while rounds < max_rounds:
+            if deadline.expired:
+                status = STATUS_DEGRADED
+                break
             rounds += 1
             with tracer.span("localsearch.round", round=rounds) as round_span:
                 ordered_selected = sorted(
@@ -297,6 +310,7 @@ def swap_local_search(
         if telemetry.enabled:
             run_span.annotate("rounds", rounds)
             run_span.annotate("swaps", swaps)
+            run_span.annotate("status", status)
             telemetry.metrics.counter("localsearch.swaps").increment(swaps)
             telemetry.record_whatif(statistics)
     finally:
@@ -314,4 +328,5 @@ def swap_local_search(
         + (statistics.calls - calls_before),
         reconfiguration_cost=result.reconfiguration_cost,
         steps=result.steps,
+        status=status,
     )

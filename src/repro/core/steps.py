@@ -16,7 +16,21 @@ from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
 from repro.workload.schema import Schema
 
-__all__ = ["StepKind", "ConstructionStep", "SelectionResult", "format_steps"]
+__all__ = [
+    "StepKind",
+    "ConstructionStep",
+    "SelectionResult",
+    "format_steps",
+    "STATUS_COMPLETED",
+    "STATUS_DEGRADED",
+]
+
+STATUS_COMPLETED = "completed"
+"""The algorithm ran to its natural stopping criterion."""
+
+STATUS_DEGRADED = "degraded"
+"""The run was cut short (deadline, solver failure fallback) and the
+result is the best-so-far configuration, still feasible and priced."""
 
 
 class StepKind(enum.Enum):
@@ -129,6 +143,13 @@ class SelectionResult:
         ``R(I*, Ī*)`` against the algorithm's baseline configuration.
     steps:
         Construction steps (empty for one-shot algorithms like CoPhy).
+    status:
+        :data:`STATUS_COMPLETED` for a natural finish,
+        :data:`STATUS_DEGRADED` for a best-so-far result returned under
+        an expired :class:`~repro.resilience.Deadline` or after a
+        solver-failure fallback.  Degraded results are always feasible
+        (within budget) and fully priced — they are just not as refined
+        as an uninterrupted run would be.
     """
 
     algorithm: str
@@ -140,14 +161,21 @@ class SelectionResult:
     whatif_calls: int
     reconfiguration_cost: float = 0.0
     steps: tuple[ConstructionStep, ...] = field(default_factory=tuple)
+    status: str = STATUS_COMPLETED
 
     @property
     def objective(self) -> float:
         """``F(I*) + R(I*, Ī*)`` — the minimized objective (Eq. 3)."""
         return self.total_cost + self.reconfiguration_cost
 
+    @property
+    def degraded(self) -> bool:
+        """True when the run was cut short (see ``status``)."""
+        return self.status == STATUS_DEGRADED
+
     def summary(self) -> str:
         """One-line result summary for experiment logs."""
+        status_note = "" if not self.degraded else f" [{self.status}]"
         return (
             f"{self.algorithm}: cost={self.total_cost:.6g} "
             f"memory={self.memory:,}/{self.budget:,.0f} "
@@ -155,6 +183,7 @@ class SelectionResult:
             f"steps={len(self.steps)} "
             f"whatif={self.whatif_calls} "
             f"runtime={self.runtime_seconds:.3f}s"
+            f"{status_note}"
         )
 
 

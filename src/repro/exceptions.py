@@ -54,6 +54,40 @@ class CostModelError(ReproError):
     """
 
 
+class CostSourceError(ReproError):
+    """A what-if cost backend misbehaved.
+
+    Base class of the resilience-layer failures; see
+    :mod:`repro.resilience`.
+    """
+
+
+class TransientCostSourceError(CostSourceError):
+    """A cost backend failed in a way that is worth retrying.
+
+    Flaky plan-costing services raise this (or have it raised on their
+    behalf by timeout detection); :class:`~repro.resilience.ResilientCostSource`
+    retries such calls with exponential backoff before falling back.
+    """
+
+
+class CostSourceUnavailableError(CostSourceError):
+    """A cost backend is down and no fallback could price the call.
+
+    Raised when retries are exhausted (or the circuit breaker is open)
+    and every stage of the fallback chain failed as well.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A wall-clock deadline expired.
+
+    Algorithms normally *poll* their :class:`~repro.resilience.Deadline`
+    and degrade gracefully instead of raising; this error is for callers
+    that explicitly ask a deadline to :meth:`~repro.resilience.Deadline.check`.
+    """
+
+
 class SolverError(ReproError):
     """The LP/BIP solver backend failed or returned an unusable status."""
 

@@ -18,12 +18,17 @@ import abc
 import time
 from typing import Sequence
 
-from repro.core.steps import SelectionResult
+from repro.core.steps import (
+    STATUS_COMPLETED,
+    STATUS_DEGRADED,
+    SelectionResult,
+)
 from repro.cost.whatif import WhatIfOptimizer
 from repro.exceptions import BudgetError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
 from repro.indexes.memory import index_memory
+from repro.resilience.deadline import Deadline
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.workload.query import Workload
 
@@ -65,10 +70,19 @@ class RankingHeuristic(abc.ABC):
         workload: Workload,
         budget: float,
         candidates: Sequence[Index],
+        *,
+        deadline: Deadline | None = None,
     ) -> SelectionResult:
-        """Greedy fill: take ranked candidates while the budget allows."""
+        """Greedy fill: take ranked candidates while the budget allows.
+
+        With a ``deadline``, the fill stops taking candidates once the
+        wall clock expires and the (feasible, fully priced) partial
+        selection is returned with ``status="degraded"``.
+        """
         if budget < 0:
             raise BudgetError(f"budget must be >= 0, got {budget}")
+        deadline = deadline or Deadline.none()
+        status = STATUS_COMPLETED
         telemetry = self._telemetry
         tracer = telemetry.tracer
         started = time.perf_counter()
@@ -82,11 +96,16 @@ class RankingHeuristic(abc.ABC):
         ) as run_span:
             with tracer.span("heuristic.rank"):
                 ranked = self.rank(workload, list(candidates))
+            if deadline.expired:
+                status = STATUS_DEGRADED
 
             with tracer.span("heuristic.fill"):
                 chosen: list[Index] = []
                 used = 0
                 for candidate in ranked:
+                    if deadline.expired:
+                        status = STATUS_DEGRADED
+                        break
                     footprint = index_memory(schema, candidate)
                     if used + footprint > budget:
                         continue
@@ -99,6 +118,7 @@ class RankingHeuristic(abc.ABC):
             )
             if telemetry.enabled:
                 run_span.annotate("selected", len(chosen))
+                run_span.annotate("status", status)
                 telemetry.metrics.counter(
                     f"heuristic.{self.name}.selected"
                 ).increment(len(chosen))
@@ -111,4 +131,5 @@ class RankingHeuristic(abc.ABC):
             budget=budget,
             runtime_seconds=time.perf_counter() - started,
             whatif_calls=self._optimizer.calls - calls_before,
+            status=status,
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+from repro.exceptions import BudgetError
 from repro.indexes.index import Index
 from repro.workload.schema import Schema
 
@@ -59,5 +60,5 @@ def relative_budget(schema: Schema, w: float) -> float:
     the paper sweeps ``w`` between 0 and 1.
     """
     if w < 0:
-        raise ValueError(f"relative budget share must be >= 0, got {w}")
+        raise BudgetError(f"relative budget share must be >= 0, got {w}")
     return w * single_attribute_total_memory(schema)

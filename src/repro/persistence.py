@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.core.steps import SelectionResult
+from repro.core.steps import STATUS_COMPLETED, SelectionResult
 from repro.exceptions import ReproError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
@@ -154,6 +154,7 @@ def result_to_dict(result: SelectionResult) -> dict[str, Any]:
         "runtime_seconds": result.runtime_seconds,
         "whatif_calls": result.whatif_calls,
         "reconfiguration_cost": result.reconfiguration_cost,
+        "status": result.status,
     }
 
 
@@ -169,6 +170,9 @@ def result_from_dict(data: dict[str, Any]) -> SelectionResult:
         runtime_seconds=data["runtime_seconds"],
         whatif_calls=data["whatif_calls"],
         reconfiguration_cost=data["reconfiguration_cost"],
+        # Artifacts written before the resilience layer carry no status;
+        # those runs by construction finished normally.
+        status=data.get("status", STATUS_COMPLETED),
     )
 
 

@@ -1,0 +1,48 @@
+"""Resilience layer: deadlines, retries, breakers, fault injection.
+
+The paper's Table I treats solver DNFs as a first-class outcome;
+production advisors (AIM, CoPhy) must additionally survive flaky
+plan-costing services and hard time budgets.  This package gives the
+selection stack those guarantees:
+
+* :class:`Deadline` — a wall-clock budget threaded through every
+  algorithm; expiry yields best-so-far results tagged ``degraded``.
+* :class:`ResiliencePolicy` / :class:`ResilientCostSource` — retry with
+  exponential backoff + jitter, per-call timeout detection, and a
+  circuit breaker that trips to a fallback chain (stale cache →
+  analytical model).
+* :class:`FaultInjectingCostSource` — a deterministic (seeded/scripted)
+  fault harness so every resilience path is reproducible in tests,
+  benchmarks, and CI stress jobs.
+
+See the "Resilience" section of ``docs/OBSERVABILITY.md`` for how the
+counters surface in telemetry.
+"""
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import (
+    FaultInjectingCostSource,
+    FaultStatistics,
+    ManualClock,
+    fail_n_then_succeed,
+)
+from repro.resilience.policy import (
+    BreakerState,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilienceStatistics,
+)
+from repro.resilience.source import ResilientCostSource
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultInjectingCostSource",
+    "FaultStatistics",
+    "ManualClock",
+    "ResiliencePolicy",
+    "ResilienceStatistics",
+    "ResilientCostSource",
+    "fail_n_then_succeed",
+]

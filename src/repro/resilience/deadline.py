@@ -1,0 +1,105 @@
+"""Wall-clock deadlines for selection runs.
+
+The paper's Table I reports CoPhy "DNF" entries after an eight-hour
+cutoff; production advisors face much tighter budgets (seconds, not
+hours).  A :class:`Deadline` is the one object threaded through the
+selection stack so that every algorithm can stop at a step boundary and
+return its best-so-far configuration tagged ``degraded`` instead of
+running over budget or crashing.
+
+Deadlines are clock-injectable: tests and the fault-injection harness
+pass a :class:`~repro.resilience.faults.ManualClock` so expiry is
+deterministic and instantaneous.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.exceptions import BudgetError, DeadlineExceededError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget with a fixed expiry instant.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now*; ``None`` means unlimited (never expires).
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    __slots__ = ("_clock", "_expires_at", "_seconds")
+
+    def __init__(
+        self,
+        seconds: float | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise BudgetError(
+                f"deadline seconds must be >= 0, got {seconds}"
+            )
+        self._clock = clock
+        self._seconds = seconds
+        self._expires_at = (
+            None if seconds is None else clock() + seconds
+        )
+
+    @classmethod
+    def none(cls) -> Deadline:
+        """An unlimited deadline (never expires)."""
+        return cls(None)
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Deadline:
+        """Alias of the constructor that reads well at call sites."""
+        return cls(seconds, clock=clock)
+
+    @property
+    def seconds(self) -> float | None:
+        """The originally granted budget (``None`` = unlimited)."""
+        return self._seconds
+
+    @property
+    def unlimited(self) -> bool:
+        """True when this deadline can never expire."""
+        return self._expires_at is None
+
+    @property
+    def expired(self) -> bool:
+        """True once the wall clock passed the expiry instant."""
+        if self._expires_at is None:
+            return False
+        return self._clock() >= self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited, clamped at 0.0)."""
+        if self._expires_at is None:
+            return float("inf")
+        return max(0.0, self._expires_at - self._clock())
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if expired."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its deadline of {self._seconds}s"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.unlimited:
+            return "Deadline(unlimited)"
+        return (
+            f"Deadline({self._seconds}s, "
+            f"remaining={self.remaining():.3f}s)"
+        )

@@ -72,6 +72,16 @@ class Telemetry:
         the registry as gauges (calls, cache hits, hit rate)."""
         statistics.publish(self.metrics, prefix=prefix)
 
+    def record_resilience(
+        self, statistics, prefix: str = "resilience"
+    ) -> None:
+        """Bridge a
+        :class:`~repro.resilience.ResilienceStatistics` (or
+        :class:`~repro.resilience.FaultStatistics` via ``prefix=
+        "faults"``) into the registry as gauges — retries, breaker
+        state, fault counters."""
+        statistics.publish(self.metrics, prefix=prefix)
+
     def snapshot(self) -> TelemetrySnapshot:
         """Immutable view of metrics, finished spans, and events."""
         return TelemetrySnapshot(
@@ -120,6 +130,11 @@ class _DisabledTelemetry:
         pass
 
     def record_whatif(self, statistics, prefix: str = "whatif") -> None:
+        pass
+
+    def record_resilience(
+        self, statistics, prefix: str = "resilience"
+    ) -> None:
         pass
 
     def snapshot(self) -> TelemetrySnapshot:

@@ -141,3 +141,41 @@ class TestCostTable:
         candidates = [Index.of(tiny_schema, (1,))]
         table = optimizer.cost_table(tiny_workload, candidates)
         assert source.invocations == len(table)
+
+
+class TestStatisticsPublish:
+    def test_publish_bridges_gauges(self, counting, tiny_workload):
+        from repro.telemetry import MetricsRegistry
+
+        _, optimizer = counting
+        query = tiny_workload.queries[0]
+        optimizer.sequential_cost(query)
+        optimizer.sequential_cost(query)  # cache hit
+
+        registry = MetricsRegistry()
+        optimizer.statistics.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["whatif.calls"] == 1  # one backend call
+        assert snapshot["whatif.cache_hits"] == 1
+        assert snapshot["whatif.hit_rate"] == pytest.approx(0.5)
+
+    def test_publish_custom_prefix(self, counting, tiny_workload):
+        from repro.telemetry import MetricsRegistry
+
+        _, optimizer = counting
+        optimizer.sequential_cost(tiny_workload.queries[0])
+        registry = MetricsRegistry()
+        optimizer.statistics.publish(registry, prefix="run1")
+        snapshot = registry.snapshot()
+        assert snapshot["run1.calls"] == 1
+        assert "whatif.calls" not in snapshot
+
+    def test_publish_empty_statistics(self):
+        from repro.cost.whatif import WhatIfStatistics
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        WhatIfStatistics().publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["whatif.calls"] == 0
+        assert snapshot["whatif.hit_rate"] == 0.0

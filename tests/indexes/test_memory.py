@@ -6,6 +6,7 @@ import math
 
 import pytest
 
+from repro.exceptions import BudgetError
 from repro.indexes.index import Index
 from repro.indexes.memory import (
     configuration_memory,
@@ -64,7 +65,7 @@ class TestRelativeBudget:
         assert relative_budget(tiny_schema, 1.0) == pytest.approx(total)
 
     def test_rejects_negative_share(self, tiny_schema):
-        with pytest.raises(ValueError, match=">= 0"):
+        with pytest.raises(BudgetError, match=">= 0"):
             relative_budget(tiny_schema, -0.1)
 
     def test_shares_above_one_are_allowed(self, tiny_schema):

@@ -1,0 +1,60 @@
+"""Tests for :class:`repro.resilience.Deadline`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BudgetError, DeadlineExceededError
+from repro.resilience import Deadline, ManualClock
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.none()
+        assert deadline.unlimited
+        assert not deadline.expired
+        assert deadline.remaining() == float("inf")
+        deadline.check()  # never raises
+
+    def test_none_seconds_is_unlimited(self):
+        assert Deadline(None).unlimited
+
+    def test_expires_with_the_clock(self):
+        clock = ManualClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(4.0)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_clamped_at_zero(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(10.0)
+        assert deadline.remaining() == 0.0
+
+    def test_zero_seconds_expires_immediately(self):
+        clock = ManualClock()
+        assert Deadline(0.0, clock=clock).expired
+
+    def test_check_raises_once_expired(self):
+        clock = ManualClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("selection")
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError, match="selection"):
+            deadline.check("selection")
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(BudgetError):
+            Deadline(-1.0)
+
+    def test_after_alias(self):
+        clock = ManualClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.seconds == 2.0
+        assert not deadline.expired

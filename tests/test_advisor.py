@@ -126,3 +126,103 @@ class TestRecommendation:
         advisor.recommend(_SQL, budget_share=0.5)
         # Identical second run: everything cached.
         assert advisor.optimizer.calls == calls_after_first
+
+
+class TestResilienceIntegration:
+    def test_resilience_property_exposes_the_wrapper(self, advisor):
+        from repro.resilience import BreakerState, ResilientCostSource
+
+        assert isinstance(advisor.resilience, ResilientCostSource)
+        assert advisor.resilience.breaker.state is BreakerState.CLOSED
+
+    def test_custom_cost_source_gets_analytic_fallback(
+        self, tiny_schema
+    ):
+        class Dead:
+            def query_cost(self, query, index):
+                from repro.exceptions import TransientCostSourceError
+
+                raise TransientCostSourceError("backend down")
+
+        from repro.resilience import ResiliencePolicy
+
+        advisor = IndexAdvisor(
+            tiny_schema,
+            cost_source=Dead(),
+            resilience=ResiliencePolicy(
+                max_retries=0, backoff_base_s=0.0
+            ),
+        )
+        recommendation = advisor.recommend(_SQL, budget_share=0.5)
+        assert recommendation.indexes
+        assert advisor.resilience.statistics.fallback_calls > 0
+
+    def test_per_call_policy_swap(self, advisor):
+        from repro.resilience import ResiliencePolicy
+
+        advisor.recommend(
+            _SQL,
+            budget_share=0.5,
+            resilience=ResiliencePolicy(max_retries=7),
+        )
+        assert advisor.resilience.policy.max_retries == 7
+
+    def test_solver_time_limit_reaches_cophy(
+        self, advisor, monkeypatch
+    ):
+        import repro.advisor as advisor_module
+
+        captured = {}
+        real = advisor_module.CoPhyAlgorithm
+
+        class Probe(real):
+            def __init__(self, optimizer, **kwargs):
+                captured["time_limit"] = kwargs.get("time_limit")
+                super().__init__(optimizer, **kwargs)
+
+        monkeypatch.setattr(advisor_module, "CoPhyAlgorithm", Probe)
+        advisor.recommend(
+            _SQL,
+            budget_share=0.5,
+            algorithm="cophy",
+            solver_time_limit=42.0,
+        )
+        assert captured["time_limit"] == 42.0
+
+    def test_solver_failure_falls_back_to_extend(
+        self, tiny_schema, monkeypatch
+    ):
+        import repro.advisor as advisor_module
+        from repro.core.steps import STATUS_DEGRADED
+        from repro.exceptions import SolverTimeoutError
+        from repro.telemetry import Telemetry
+
+        class Doomed:
+            def __init__(self, optimizer, **kwargs):
+                pass
+
+            def select(self, workload, budget, candidates, **kwargs):
+                raise SolverTimeoutError("no incumbent")
+
+        monkeypatch.setattr(advisor_module, "CoPhyAlgorithm", Doomed)
+        telemetry = Telemetry()
+        advisor = IndexAdvisor(tiny_schema, telemetry=telemetry)
+        recommendation = advisor.recommend(
+            _SQL, budget_share=0.5, algorithm="cophy"
+        )
+        result = recommendation.result
+        assert result.status == STATUS_DEGRADED
+        assert result.memory <= result.budget
+        assert len(result.configuration) > 0
+        metrics = telemetry.snapshot().metrics
+        assert metrics["advisor.solver_fallbacks"] == 1
+
+    def test_deadline_s_degrades_gracefully(self, advisor):
+        from repro.core.steps import STATUS_DEGRADED
+
+        recommendation = advisor.recommend(
+            _SQL, budget_share=0.5, algorithm="extend", deadline_s=0.0
+        )
+        assert recommendation.result.status == STATUS_DEGRADED
+        # Degradation is visible in the rendered summary too.
+        assert "[degraded]" in recommendation.result.summary()

@@ -149,3 +149,91 @@ class TestParser:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["advise", "--algorithm", "magic"])
+
+
+class TestResilienceFlags:
+    _BASE = [
+        "advise",
+        "--tables", "2",
+        "--attributes", "5",
+        "--queries", "5",
+        "--budget", "0.3",
+    ]
+
+    def test_fault_rate_prints_resilience_line(self, capsys):
+        exit_code = main(
+            self._BASE + ["--fault-rate", "0.2", "--fault-seed", "7"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Resilience:" in output
+        assert "injected faults" in output
+        assert "Recommended indexes:" in output
+
+    def test_faulty_run_matches_clean_run(self, capsys):
+        main(self._BASE)
+        clean = capsys.readouterr().out
+        main(self._BASE + ["--fault-rate", "0.2", "--max-retries", "10"])
+        faulty = capsys.readouterr().out
+
+        def recommended(output):
+            return output.split("Recommended indexes:")[1].splitlines()
+
+        assert recommended(faulty) == recommended(clean)
+
+    def test_zero_deadline_reports_degraded(self, capsys):
+        exit_code = main(self._BASE + ["--deadline", "0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "[degraded]" in output
+        assert "note: run was degraded" in output
+
+    def test_no_fault_rate_no_resilience_line(self, capsys):
+        exit_code = main(self._BASE)
+        assert exit_code == 0
+        assert "Resilience:" not in capsys.readouterr().out
+
+    def test_fault_metrics_reach_telemetry(self, capsys):
+        exit_code = main(
+            self._BASE + ["--fault-rate", "0.2", "--metrics"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "resilience.retries" in output
+        assert "faults.injected_failures" in output
+
+    def test_invalid_fault_rate_is_a_clean_error(self, capsys):
+        exit_code = main(self._BASE + ["--fault-rate", "1.5"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+
+
+class TestErrorHandling:
+    def test_repro_errors_exit_2_with_one_line(self, capsys):
+        # A negative budget passes argparse but fails library
+        # validation with a BudgetError (a ReproError).
+        exit_code = main(
+            [
+                "advise",
+                "--tables", "2",
+                "--attributes", "5",
+                "--queries", "5",
+                "--budget", "-0.5",
+            ]
+        )
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "\n" == captured.err[-1]
+        assert captured.err.count("\n") == 1
+
+    def test_non_repro_errors_propagate(self, monkeypatch):
+        import repro.cli as cli_module
+
+        def boom(arguments):
+            raise RuntimeError("programming error")
+
+        monkeypatch.setattr(cli_module, "_advise", boom)
+        with pytest.raises(RuntimeError, match="programming error"):
+            main(["advise", "--budget", "0.3"])

@@ -142,3 +142,45 @@ class TestFiles:
         save_json(second, workload_to_dict(tiny_workload))
         with open(first) as a, open(second) as b:
             assert a.read() == b.read()
+
+
+class TestStatusRoundTrip:
+    def test_completed_status_round_trips(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        data = result_to_dict(result)
+        assert data["status"] == "completed"
+        assert result_from_dict(data).status == "completed"
+
+    def test_degraded_status_round_trips(
+        self, tiny_workload, tiny_optimizer
+    ):
+        import dataclasses
+
+        from repro.core.steps import STATUS_DEGRADED
+
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        result = dataclasses.replace(
+            ExtendAlgorithm(tiny_optimizer).select(tiny_workload, budget),
+            status=STATUS_DEGRADED,
+        )
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.status == STATUS_DEGRADED
+        assert restored.degraded
+
+    def test_pre_resilience_artifacts_default_to_completed(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        data = result_to_dict(result)
+        del data["status"]  # artifact written before the status field
+        restored = result_from_dict(data)
+        assert restored.status == "completed"
+        assert not restored.degraded
