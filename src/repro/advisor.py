@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.evaluation import EvaluationConfig
 from repro.core.extend import ExtendAlgorithm
 from repro.core.localsearch import swap_local_search
 from repro.core.steps import STATUS_DEGRADED, SelectionResult
@@ -223,6 +224,8 @@ class IndexAdvisor:
         deadline_s: float | None = None,
         resilience: ResiliencePolicy | None = None,
         solver_time_limit: float = 120.0,
+        parallelism: int = 1,
+        naive_evaluation: bool = False,
     ) -> Recommendation:
         """Compute an index recommendation.
 
@@ -254,6 +257,17 @@ class IndexAdvisor:
             120.0); a tighter ``deadline_s`` caps it further.  When the
             solver fails or times out without an incumbent, the advisor
             falls back to Extend and tags the result ``degraded``.
+        parallelism:
+            Worker threads for candidate evaluation and pricing
+            (``1`` = serial, the default).  Recommendations are
+            identical at any setting; the engine silently falls back to
+            serial when the cost backend is not ``parallel_safe`` (e.g.
+            under seeded fault injection).
+        naive_evaluation:
+            Differential-testing escape hatch: restore the pre-engine
+            exhaustive candidate re-scan (eager pricing, full
+            re-evaluation per round).  Selects the identical steps as
+            the incremental engine, just with far more what-if calls.
         """
         if algorithm not in _ALGORITHMS:
             raise ExperimentError(
@@ -267,6 +281,9 @@ class IndexAdvisor:
         deadline = Deadline(deadline_s)
         telemetry = self._telemetry
 
+        evaluation = EvaluationConfig(
+            naive=naive_evaluation, parallelism=parallelism
+        )
         stats_before = self._optimizer.statistics.copy()
         with telemetry.tracer.span(
             "advisor.recommend", algorithm=algorithm
@@ -278,6 +295,7 @@ class IndexAdvisor:
                 candidate_width,
                 deadline,
                 solver_time_limit,
+                evaluation,
             )
             run_statistics = self._optimizer.statistics.since(
                 stats_before
@@ -308,11 +326,15 @@ class IndexAdvisor:
         candidate_width: int,
         deadline: Deadline,
         solver_time_limit: float,
+        evaluation: EvaluationConfig,
     ) -> SelectionResult:
         telemetry = self._telemetry
+        parallelism = evaluation.effective_parallelism(self._optimizer)
         if algorithm in ("extend", "extend+swap"):
             result = ExtendAlgorithm(
-                self._optimizer, telemetry=telemetry
+                self._optimizer,
+                telemetry=telemetry,
+                evaluation=evaluation,
             ).select(workload, budget, deadline=deadline)
             if algorithm == "extend+swap":
                 candidates = syntactically_relevant_candidates(
@@ -326,6 +348,7 @@ class IndexAdvisor:
                     candidates,
                     telemetry=telemetry,
                     deadline=deadline,
+                    parallelism=parallelism,
                 )
             return result
 
@@ -348,7 +371,9 @@ class IndexAdvisor:
                         "advisor.solver_fallbacks"
                     ).increment()
                 fallback = ExtendAlgorithm(
-                    self._optimizer, telemetry=telemetry
+                    self._optimizer,
+                    telemetry=telemetry,
+                    evaluation=evaluation,
                 ).select(workload, budget, deadline=deadline)
                 return dataclasses.replace(
                     fallback, status=STATUS_DEGRADED
@@ -361,13 +386,20 @@ class IndexAdvisor:
         }
         if algorithm in heuristics:
             return heuristics[algorithm](
-                self._optimizer, telemetry=telemetry
+                self._optimizer,
+                telemetry=telemetry,
+                parallelism=parallelism,
             ).select(workload, budget, candidates, deadline=deadline)
         if algorithm == "h4":
             return PerformanceHeuristic(
-                self._optimizer, telemetry=telemetry
+                self._optimizer,
+                telemetry=telemetry,
+                parallelism=parallelism,
             ).select(workload, budget, candidates, deadline=deadline)
         assert algorithm == "h4+skyline"
         return PerformanceHeuristic(
-            self._optimizer, use_skyline=True, telemetry=telemetry
+            self._optimizer,
+            use_skyline=True,
+            telemetry=telemetry,
+            parallelism=parallelism,
         ).select(workload, budget, candidates, deadline=deadline)

@@ -35,6 +35,7 @@ import argparse
 import sys
 
 from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.evaluation import EvaluationConfig
 from repro.core.extend import ExtendAlgorithm
 from repro.core.steps import SelectionResult, format_steps
 from repro.cost.model import CostModel
@@ -110,10 +111,15 @@ def _run_algorithm(
     deadline: Deadline,
 ) -> SelectionResult:
     name = arguments.algorithm
+    evaluation = EvaluationConfig(
+        naive=arguments.naive_evaluation,
+        parallelism=arguments.parallelism,
+    )
+    parallelism = evaluation.effective_parallelism(optimizer)
     if name == "extend":
-        return ExtendAlgorithm(optimizer, telemetry=telemetry).select(
-            workload, budget, deadline=deadline
-        )
+        return ExtendAlgorithm(
+            optimizer, telemetry=telemetry, evaluation=evaluation
+        ).select(workload, budget, deadline=deadline)
 
     if arguments.candidates:
         statistics = WorkloadStatistics(workload)
@@ -134,15 +140,18 @@ def _run_algorithm(
     }
     if name in heuristic_types:
         return heuristic_types[name](
-            optimizer, telemetry=telemetry
+            optimizer, telemetry=telemetry, parallelism=parallelism
         ).select(workload, budget, candidates, deadline=deadline)
     if name == "h4":
         return PerformanceHeuristic(
-            optimizer, telemetry=telemetry
+            optimizer, telemetry=telemetry, parallelism=parallelism
         ).select(workload, budget, candidates, deadline=deadline)
     if name == "h4s":
         return PerformanceHeuristic(
-            optimizer, use_skyline=True, telemetry=telemetry
+            optimizer,
+            use_skyline=True,
+            telemetry=telemetry,
+            parallelism=parallelism,
         ).select(workload, budget, candidates, deadline=deadline)
     raise ExperimentError(f"unknown algorithm {name!r}")
 
@@ -318,6 +327,19 @@ def main(argv: list[str] | None = None) -> int:
     advise.add_argument(
         "--fault-seed", type=int, default=0,
         help="seed of the fault-injection RNG (default 0)",
+    )
+    advise.add_argument(
+        "--parallelism", type=int, default=1, metavar="N",
+        help="worker threads for candidate evaluation/pricing "
+        "(default 1 = serial; recommendations are identical at any "
+        "setting, and the engine falls back to serial when the cost "
+        "backend is not thread-safe, e.g. under --fault-rate)",
+    )
+    advise.add_argument(
+        "--naive-evaluation", action="store_true",
+        help="use the pre-engine exhaustive candidate re-scan instead "
+        "of the incremental benefit table (differential-testing "
+        "escape hatch; same recommendation, many more what-if calls)",
     )
     advise.add_argument(
         "--steps", action="store_true",

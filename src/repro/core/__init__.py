@@ -6,6 +6,13 @@ from repro.core.dynamic import (
     AdaptiveAdvisor,
     EpochReport,
 )
+from repro.core.evaluation import (
+    BenefitTable,
+    CandidateMove,
+    EvaluationConfig,
+    EvaluationStatistics,
+    price_columns,
+)
 from repro.core.extend import ExtendAlgorithm, ExtendResult
 from repro.core.frontier import Frontier, FrontierPoint, frontier_from_steps
 from repro.core.localsearch import swap_local_search
@@ -27,8 +34,12 @@ from repro.core.variants import (
 __all__ = [
     "AdaptationStrategy",
     "AdaptiveAdvisor",
+    "BenefitTable",
+    "CandidateMove",
     "ConstructionStep",
     "EpochReport",
+    "EvaluationConfig",
+    "EvaluationStatistics",
     "ExtendAlgorithm",
     "ExtendResult",
     "Frontier",
@@ -45,5 +56,6 @@ __all__ = [
     "format_steps",
     "frontier_from_steps",
     "plain_extend",
+    "price_columns",
     "swap_local_search",
 ]

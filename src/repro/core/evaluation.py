@@ -1,0 +1,640 @@
+"""Incremental candidate-evaluation engine for constructive selection.
+
+The naive inner loop of Algorithm 1 (and of the swap local search and
+the H4/H5 greedy fills) re-prices *every* candidate step against the
+*entire* workload on every round — exactly the per-step cost pattern
+CoPhy amortizes via its atomic-cost decomposition and that production
+advisors avoid by only re-costing queries affected by a configuration
+change.  This module provides the shared machinery that makes step
+evaluation incremental:
+
+* :class:`CandidateMove` — a potential construction step whose what-if
+  costs are fetched *lazily*: until priced, an admissible optimistic
+  bound (every affected query's cost drops to zero) stands in for the
+  exact benefit.
+* :class:`BenefitTable` — the per-round benefit table keyed by
+  ``(candidate, query)``: after a step is applied, only entries whose
+  query's current cost changed (computed from the query/attribute
+  overlap of the applied index) are invalidated and re-evaluated; all
+  other candidates keep their cached benefit.  Candidates are priced
+  against the backend only once their optimistic bound could beat the
+  currently best exactly-priced candidate — everything else never
+  triggers a ``CostSource.query_cost`` call at all.
+* :class:`EvaluationConfig` / :class:`EvaluationStatistics` — the knobs
+  (``naive_evaluation`` escape hatch, ``parallelism``) and the
+  ``evaluation.*`` telemetry counters (invalidations, reuse rate,
+  rounds, priced candidates).
+* :func:`price_columns` — batch (optionally parallel) pricing of
+  per-query cost columns, shared by the swap local search and the
+  performance heuristics.
+
+**Equivalence guarantee.**  The engine selects the *identical* step as
+the naive exhaustive re-scan: cached benefits are exact (an entry is
+only reused when no affected query's cost changed), the pricing bound is
+admissible (``f_j(k) >= 0`` so the true benefit never exceeds the
+bound), and every candidate whose bound ties or beats the best priced
+candidate is priced exactly before the winner is declared — so ties
+break on the same deterministic keys as the naive loop.  The
+``naive=True`` escape hatch keeps the pre-change exhaustive loop
+available for differential testing (see
+``tests/core/test_evaluation_properties.py``).
+
+**Parallelism.**  ``parallelism=N`` evaluates and prices candidate
+partitions on a thread pool.  This is safe because
+``CostSource.query_cost`` is pure and deterministic; backends that are
+not thread-compatible (the seeded fault injector, whose RNG is
+order-dependent) advertise ``parallel_safe = False`` and the engine
+silently falls back to serial execution.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import BudgetError
+from repro.indexes.index import Index
+
+__all__ = [
+    "CandidateMove",
+    "BenefitTable",
+    "EvaluationConfig",
+    "EvaluationStatistics",
+    "price_columns",
+]
+
+_PARALLEL_BATCH_MIN = 4
+"""Below this many work items a thread pool costs more than it saves."""
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Knobs of the candidate-evaluation engine.
+
+    Parameters
+    ----------
+    naive:
+        ``True`` restores the pre-engine behavior exactly: every
+        candidate is priced eagerly at construction and re-evaluated
+        against the full workload every round.  Kept as a differential-
+        testing escape hatch (``naive_evaluation=True`` on the advisor).
+    parallelism:
+        Number of worker threads for candidate evaluation and pricing.
+        ``1`` (default) stays serial; larger values partition the
+        candidate set across a thread pool.  Ignored (serial fallback)
+        when the cost backend is not ``parallel_safe``.
+    """
+
+    naive: bool = False
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise BudgetError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+
+    def effective_parallelism(self, optimizer) -> int:
+        """The worker count after the backend-safety check.
+
+        Backends flag thread compatibility via ``parallel_safe`` (the
+        seeded fault injector is order-dependent and opts out); absent
+        attribute means safe.
+        """
+        if self.parallelism <= 1:
+            return 1
+        if not getattr(optimizer, "parallel_safe", True):
+            return 1
+        return self.parallelism
+
+
+@dataclass
+class EvaluationStatistics:
+    """Counters of one engine run (telemetry-bridgeable).
+
+    ``evaluations``/``reused`` count benefit-table entries recomputed
+    versus served from cache across all rounds; ``invalidations`` counts
+    dirty-set hits; ``priced_candidates``/``pruned_candidates`` count
+    moves that were exactly priced against the what-if backend versus
+    moves whose optimistic bound never justified pricing.
+    """
+
+    rounds: int = 0
+    evaluations: int = 0
+    reused: int = 0
+    invalidations: int = 0
+    priced_candidates: int = 0
+    pruned_candidates: int = 0
+    parallelism: int = 1
+
+    @property
+    def reuse_rate(self) -> float:
+        """Share of benefit evaluations served from the table."""
+        total = self.evaluations + self.reused
+        return self.reused / total if total else 0.0
+
+    def publish(self, registry, prefix: str = "evaluation") -> None:
+        """Bridge the counters into a telemetry
+        :class:`~repro.telemetry.metrics.MetricsRegistry` as gauges
+        (``evaluation.rounds``, ``evaluation.evaluations``,
+        ``evaluation.reused``, ``evaluation.reuse_rate``,
+        ``evaluation.invalidations``, ``evaluation.priced_candidates``,
+        ``evaluation.pruned_candidates``, ``evaluation.parallelism``).
+        """
+        registry.gauge(f"{prefix}.rounds").set(self.rounds)
+        registry.gauge(f"{prefix}.evaluations").set(self.evaluations)
+        registry.gauge(f"{prefix}.reused").set(self.reused)
+        registry.gauge(f"{prefix}.reuse_rate").set(self.reuse_rate)
+        registry.gauge(f"{prefix}.invalidations").set(self.invalidations)
+        registry.gauge(f"{prefix}.priced_candidates").set(
+            self.priced_candidates
+        )
+        registry.gauge(f"{prefix}.pruned_candidates").set(
+            self.pruned_candidates
+        )
+        registry.gauge(f"{prefix}.parallelism").set(self.parallelism)
+
+
+class CandidateMove:
+    """A potential construction step with lazily fetched what-if costs.
+
+    ``costs`` holds the per-affected-query cost vector once priced;
+    until then ``pricer`` can produce it on demand and
+    :meth:`upper_bound` gives an admissible optimistic benefit (as if
+    every affected query's cost dropped to zero).
+    """
+
+    __slots__ = (
+        "kind",
+        "old_index",
+        "new_index",
+        "memory_delta",
+        "positions",
+        "costs",
+        "weights",
+        "reconfiguration_delta",
+        "maintenance_penalty",
+        "_pricer",
+    )
+
+    def __init__(
+        self,
+        kind,
+        old_index: Index | None,
+        new_index: Index,
+        memory_delta: int,
+        positions: np.ndarray,
+        weights: np.ndarray,
+        reconfiguration_delta: float,
+        maintenance_penalty: float = 0.0,
+        *,
+        costs: np.ndarray | None = None,
+        pricer: Callable[[], np.ndarray] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.old_index = old_index
+        self.new_index = new_index
+        self.memory_delta = memory_delta
+        self.positions = positions
+        self.costs = costs
+        self.weights = weights
+        self.reconfiguration_delta = reconfiguration_delta
+        self.maintenance_penalty = maintenance_penalty
+        self._pricer = pricer
+
+    @property
+    def priced(self) -> bool:
+        """True once the what-if cost vector has been fetched."""
+        return self.costs is not None
+
+    def price(self) -> None:
+        """Fetch the what-if costs (idempotent; at most one fetch)."""
+        if self.costs is None:
+            assert self._pricer is not None
+            self.costs = self._pricer()
+            self._pricer = None
+
+    def benefit(self, current_costs: np.ndarray) -> float:
+        """Net reduction of ``F + R`` if this move were applied now.
+
+        Subtracts the reconfiguration delta and, for workloads with
+        writes, the frequency-weighted index-maintenance penalty the
+        move would introduce.  Requires the move to be priced.
+        """
+        reduction = current_costs[self.positions] - self.costs
+        np.maximum(reduction, 0.0, out=reduction)
+        return (
+            float(np.dot(self.weights, reduction))
+            - self.reconfiguration_delta
+            - self.maintenance_penalty
+        )
+
+    def upper_bound(self, current_costs: np.ndarray) -> float:
+        """Admissible optimistic benefit of an unpriced move.
+
+        No index can price a query below zero, so the reduction per
+        affected query is at most its full current cost; the bound
+        therefore never underestimates :meth:`benefit`.
+        """
+        return (
+            float(
+                np.dot(self.weights, current_costs[self.positions])
+            )
+            - self.reconfiguration_delta
+            - self.maintenance_penalty
+        )
+
+    def sort_key(self) -> tuple:
+        """Deterministic tie-breaker across moves of equal ratio."""
+        return (
+            self.kind.value,
+            self.new_index.table_name,
+            self.new_index.attributes,
+        )
+
+
+class _Entry:
+    """One benefit-table row: cached value plus freshness flag.
+
+    ``value`` is the exact benefit for priced moves and the admissible
+    upper bound for unpriced ones; ``dirty`` marks it stale with respect
+    to the current per-query cost vector.
+    """
+
+    __slots__ = ("move", "value", "dirty")
+
+    def __init__(self, move: CandidateMove) -> None:
+        self.move = move
+        self.value = 0.0
+        self.dirty = True
+
+
+class BenefitTable:
+    """Incremental benefit table over the candidate-move pool.
+
+    The table owns the selection inner loop: it caches per-candidate
+    benefits, invalidates only the entries whose affected queries
+    changed cost (the *dirty set*), and defers backend pricing of a
+    candidate until its optimistic bound could actually win a round.
+
+    ``naive=True`` degrades the table to the pre-engine exhaustive
+    re-scan (eager pricing at registration, full re-evaluation per
+    round) — the differential-testing escape hatch.
+    """
+
+    def __init__(
+        self,
+        *,
+        naive: bool = False,
+        parallelism: int = 1,
+        statistics: EvaluationStatistics | None = None,
+    ) -> None:
+        self._naive = naive
+        self._parallelism = max(1, parallelism)
+        self._entries: dict[CandidateMove, _Entry] = {}
+        self._by_position: dict[int, list[CandidateMove]] = {}
+        self.statistics = statistics or EvaluationStatistics()
+        self.statistics.parallelism = self._parallelism
+
+    # ------------------------------------------------------------------
+    # Pool membership
+    # ------------------------------------------------------------------
+
+    def register(self, move: CandidateMove) -> None:
+        """Add a candidate move (initially dirty, possibly unpriced)."""
+        if self._naive:
+            move.price()
+            self._entries[move] = _Entry(move)
+            return
+        self._entries[move] = _Entry(move)
+        for position in move.positions:
+            self._by_position.setdefault(int(position), []).append(move)
+
+    def retire(self, move: CandidateMove) -> None:
+        """Drop a candidate move from the table."""
+        if self._entries.pop(move, None) is None:
+            return
+        if self._naive:
+            return
+        for position in move.positions:
+            bucket = self._by_position.get(int(position))
+            if bucket is not None:
+                try:
+                    bucket.remove(move)
+                except ValueError:
+                    pass
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, move: CandidateMove) -> bool:
+        return move in self._entries
+
+    def moves(self) -> Iterable[CandidateMove]:
+        """All pooled moves, in registration order."""
+        return self._entries.keys()
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(self, changed_positions: Iterable[int]) -> None:
+        """Mark entries overlapping the changed queries as dirty.
+
+        ``changed_positions`` are the workload positions whose current
+        cost just changed (the queries the applied index improved —
+        exactly the queries sharing the changed table/attribute
+        prefix).  Entries whose affected-query set is disjoint keep
+        their cached benefit.
+        """
+        if self._naive:
+            return
+        invalidated = 0
+        for position in changed_positions:
+            for move in self._by_position.get(int(position), ()):
+                entry = self._entries.get(move)
+                if entry is not None and not entry.dirty:
+                    entry.dirty = True
+                    invalidated += 1
+        self.statistics.invalidations += invalidated
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def best(
+        self,
+        current: np.ndarray,
+        runner_up_count: int = 0,
+        max_memory_delta: float | None = None,
+    ) -> tuple[
+        tuple[CandidateMove, float] | None,
+        list[tuple[CandidateMove, float, float]],
+    ]:
+        """The move with the best benefit/memory ratio, plus runners-up.
+
+        Mirrors the naive exhaustive scan exactly: only moves with
+        strictly positive net benefit qualify; with ``max_memory_delta``
+        moves that would not fit the remaining budget are skipped; ties
+        on the ratio break by larger absolute benefit, then by the
+        deterministic move key.  Runners-up come back as
+        ``(move, benefit, ratio)``.
+        """
+        self.statistics.rounds += 1
+        if self._naive:
+            return self._best_naive(
+                current, runner_up_count, max_memory_delta
+            )
+
+        self._refresh(current)
+        needed = runner_up_count + 1
+
+        # Price lazily: keep pricing the optimistically best unpriced
+        # candidates until every remaining bound falls strictly below
+        # the ``needed``-th best exactly-priced ratio — from then on no
+        # unpriced move can appear among (or tie into) the winners.
+        while True:
+            threshold = self._priced_threshold(
+                needed, max_memory_delta
+            )
+            contenders = [
+                entry
+                for entry in self._entries.values()
+                if not entry.move.priced
+                and entry.value > 0.0
+                and (
+                    max_memory_delta is None
+                    or entry.move.memory_delta <= max_memory_delta
+                )
+                and entry.value / entry.move.memory_delta >= threshold
+            ]
+            if not contenders:
+                break
+            contenders.sort(
+                key=lambda entry: -(
+                    entry.value / entry.move.memory_delta
+                )
+            )
+            # Serial runs price one contender at a time — the classic
+            # lazy-greedy minimum.  Parallel runs price an optimistic
+            # batch per round trip: a few extra pricings buy N-wide
+            # backend concurrency.
+            if self._parallelism > 1:
+                batch = contenders[
+                    : max(needed, _PARALLEL_BATCH_MIN * self._parallelism)
+                ]
+            else:
+                batch = contenders[:needed]
+            self._price(batch, current)
+
+        return self._pick(current, runner_up_count, max_memory_delta)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _best_naive(
+        self,
+        current: np.ndarray,
+        runner_up_count: int,
+        max_memory_delta: float | None,
+    ):
+        """The pre-engine exhaustive re-scan, bit for bit."""
+        scored: list[tuple[float, float, CandidateMove]] = []
+        for move in self._entries:
+            if (
+                max_memory_delta is not None
+                and move.memory_delta > max_memory_delta
+            ):
+                continue
+            benefit = move.benefit(current)
+            self.statistics.evaluations += 1
+            if benefit <= 0.0:
+                continue
+            scored.append((benefit / move.memory_delta, benefit, move))
+        return self._rank(scored, runner_up_count)
+
+    def _refresh(self, current: np.ndarray) -> None:
+        """Re-evaluate dirty entries; reuse everything else.
+
+        Priced entries get their exact benefit, unpriced ones their
+        admissible bound.  Clean entries are exact by the invalidation
+        invariant: none of their affected queries changed cost since
+        the last evaluation.
+        """
+        dirty = [
+            entry for entry in self._entries.values() if entry.dirty
+        ]
+        self.statistics.evaluations += len(dirty)
+        self.statistics.reused += len(self._entries) - len(dirty)
+        if not dirty:
+            return
+
+        def evaluate(entry: _Entry) -> None:
+            move = entry.move
+            entry.value = (
+                move.benefit(current)
+                if move.priced
+                else move.upper_bound(current)
+            )
+            entry.dirty = False
+
+        self._each(evaluate, dirty)
+
+    def _priced_threshold(
+        self, needed: int, max_memory_delta: float | None
+    ) -> float:
+        """Ratio of the ``needed``-th best qualifying priced entry.
+
+        Unpriced moves whose bound stays strictly below this can never
+        enter the winner set; with fewer than ``needed`` qualifying
+        priced entries everything optimistic must be priced
+        (``-inf``).
+        """
+        ratios: list[float] = []
+        for entry in self._entries.values():
+            move = entry.move
+            if not move.priced or entry.value <= 0.0:
+                continue
+            if (
+                max_memory_delta is not None
+                and move.memory_delta > max_memory_delta
+            ):
+                continue
+            ratios.append(entry.value / move.memory_delta)
+        if len(ratios) < needed:
+            return float("-inf")
+        ratios.sort(reverse=True)
+        return ratios[needed - 1]
+
+    def _price(
+        self, batch: Sequence[_Entry], current: np.ndarray
+    ) -> None:
+        """Exactly price a batch of optimistic entries."""
+        self.statistics.priced_candidates += len(batch)
+
+        def resolve(entry: _Entry) -> None:
+            entry.move.price()
+            entry.value = entry.move.benefit(current)
+
+        self._each(resolve, batch)
+
+    def _pick(
+        self,
+        current: np.ndarray,
+        runner_up_count: int,
+        max_memory_delta: float | None,
+    ):
+        scored = [
+            (entry.value / entry.move.memory_delta, entry.value, entry.move)
+            for entry in self._entries.values()
+            if entry.move.priced
+            and entry.value > 0.0
+            and (
+                max_memory_delta is None
+                or entry.move.memory_delta <= max_memory_delta
+            )
+        ]
+        return self._rank(scored, runner_up_count)
+
+    @staticmethod
+    def _rank(
+        scored: list[tuple[float, float, CandidateMove]],
+        runner_up_count: int,
+    ):
+        if not scored:
+            return None, []
+        scored.sort(
+            key=lambda entry: (-entry[0], -entry[1], entry[2].sort_key())
+        )
+        best_ratio, best_benefit, best = scored[0]
+        runners_up = [
+            (entry[2], entry[1], entry[0])
+            for entry in scored[1 : 1 + runner_up_count]
+        ]
+        return (best, best_benefit), runners_up
+
+    def _each(self, function, items: Sequence) -> None:
+        """Apply ``function`` to every item, on threads when it pays.
+
+        Worker pools are per-batch (created and joined inside this
+        call), so an aborted run can never leak threads.  Each item is
+        touched by exactly one worker and results are merged by entry
+        identity, so the outcome is deterministic regardless of
+        scheduling.
+        """
+        if (
+            self._parallelism <= 1
+            or len(items) < _PARALLEL_BATCH_MIN
+        ):
+            for item in items:
+                function(item)
+            return
+        with ThreadPoolExecutor(
+            max_workers=self._parallelism,
+            thread_name_prefix="repro-eval",
+        ) as pool:
+            for _ in pool.map(
+                function,
+                items,
+                chunksize=max(1, len(items) // self._parallelism),
+            ):
+                pass
+
+    def pending_candidates(self) -> int:
+        """Moves still unpriced (each saved its backend pricing calls)."""
+        return sum(
+            1 for move in self._entries if not move.priced
+        )
+
+    def close(self) -> None:
+        """Finalize the pruned-candidate counter (idempotent-ish:
+        call once, at the natural end of a run)."""
+        self.statistics.pruned_candidates += self.pending_candidates()
+
+
+def price_columns(
+    optimizer,
+    queries: Sequence,
+    indexes: Iterable[Index],
+    *,
+    parallelism: int = 1,
+) -> None:
+    """Warm the what-if facade for every ``(query, index)`` column.
+
+    Shared by the swap local search (pool construction) and the
+    performance heuristics (ranking): both need full per-query cost
+    columns for many candidates, which is embarrassingly parallel
+    because ``CostSource.query_cost`` is pure.  Serial when the backend
+    is not ``parallel_safe`` or the batch is small; results land in the
+    facade cache, so the subsequent (serial, deterministic) ranking
+    loops are pure cache hits either way.
+    """
+    candidates = [index for index in dict.fromkeys(indexes)]
+    workers = parallelism
+    if workers > 1 and not getattr(optimizer, "parallel_safe", True):
+        workers = 1
+    if workers <= 1 or len(candidates) < _PARALLEL_BATCH_MIN:
+        for index in candidates:
+            for query in queries:
+                if index.is_applicable_to(query):
+                    optimizer.index_cost(query, index)
+        return
+
+    def warm(index: Index) -> None:
+        for query in queries:
+            if index.is_applicable_to(query):
+                optimizer.index_cost(query, index)
+
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="repro-price"
+    ) as pool:
+        for _ in pool.map(
+            warm,
+            candidates,
+            chunksize=max(1, len(candidates) // workers),
+        ):
+            pass

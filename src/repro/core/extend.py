@@ -18,11 +18,20 @@ III-A): each potential step keeps the list of queries it could possibly
 affect — for a new single-attribute index these are the queries accessing
 the attribute, for an extension of ``k`` by ``i`` the queries containing
 *all* of ``k``'s attributes plus ``i`` (all other queries keep their usable
-prefix and hence their cost).  What-if costs are fetched once per
-``(query, index)`` pair through the caching facade and step benefits are
-re-evaluated with vectorized arithmetic, so the expensive optimizer is
-called only the "small number" of times the paper advertises
-(``≈ 2·Q·q̄`` in total, with more than half in the very first step).
+prefix and hence their cost).  What-if costs are fetched at most once per
+``(query, index)`` pair through the caching facade.
+
+Step evaluation itself runs on the incremental engine of
+:mod:`repro.core.evaluation`: per-candidate benefits live in a
+:class:`~repro.core.evaluation.BenefitTable` that is invalidated only
+for candidates whose affected queries changed cost after a step, and
+candidates are priced against the backend lazily — only once their
+optimistic bound could win a round.  The expensive optimizer is thereby
+called strictly fewer times than the "small number" the paper
+advertises (``≈ 2·Q·q̄`` in total); the pre-engine exhaustive loop
+remains available via ``EvaluationConfig(naive=True)`` and provably
+selects the identical step sequence (see
+``tests/core/test_evaluation_properties.py``).
 
 Optional extensions of Remark 1 are available as constructor flags; see
 :mod:`repro.core.variants` for the named presets used in the ablations.
@@ -32,11 +41,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 
 from repro.core.budget import NO_RECONFIGURATION, ReconfigurationModel
+from repro.core.evaluation import (
+    BenefitTable,
+    CandidateMove,
+    EvaluationConfig,
+)
 from repro.core.steps import (
     STATUS_COMPLETED,
     STATUS_DEGRADED,
@@ -67,67 +80,6 @@ class ExtendResult(SelectionResult):
     populates ``steps``, from which the efficient frontier can be read
     (see :mod:`repro.core.frontier`).
     """
-
-
-class _Move:
-    """A potential construction step with pre-fetched what-if costs."""
-
-    __slots__ = (
-        "kind",
-        "old_index",
-        "new_index",
-        "memory_delta",
-        "positions",
-        "costs",
-        "weights",
-        "reconfiguration_delta",
-        "maintenance_penalty",
-    )
-
-    def __init__(
-        self,
-        kind: StepKind,
-        old_index: Index | None,
-        new_index: Index,
-        memory_delta: int,
-        positions: np.ndarray,
-        costs: np.ndarray,
-        weights: np.ndarray,
-        reconfiguration_delta: float,
-        maintenance_penalty: float = 0.0,
-    ) -> None:
-        self.kind = kind
-        self.old_index = old_index
-        self.new_index = new_index
-        self.memory_delta = memory_delta
-        self.positions = positions
-        self.costs = costs
-        self.weights = weights
-        self.reconfiguration_delta = reconfiguration_delta
-        self.maintenance_penalty = maintenance_penalty
-
-    def benefit(self, current_costs: np.ndarray) -> float:
-        """Net reduction of ``F + R`` if this move were applied now.
-
-        Subtracts the reconfiguration delta and, for workloads with
-        writes, the frequency-weighted index-maintenance penalty the
-        move would introduce.
-        """
-        reduction = current_costs[self.positions] - self.costs
-        np.maximum(reduction, 0.0, out=reduction)
-        return (
-            float(np.dot(self.weights, reduction))
-            - self.reconfiguration_delta
-            - self.maintenance_penalty
-        )
-
-    def sort_key(self) -> tuple:
-        """Deterministic tie-breaker across moves of equal ratio."""
-        return (
-            self.kind.value,
-            self.new_index.table_name,
-            self.new_index.attributes,
-        )
 
 
 class ExtendAlgorithm:
@@ -165,9 +117,18 @@ class ExtendAlgorithm:
     telemetry:
         Observability session (see :mod:`repro.telemetry`).  When
         enabled, every run traces one ``extend.step`` span per selection
-        step and emits chosen/rejected :class:`StepEvent` records; the
-        default :data:`~repro.telemetry.NULL_TELEMETRY` reduces all
+        step and emits chosen/rejected :class:`StepEvent` records plus
+        the ``evaluation.*`` engine gauges; the default
+        :data:`~repro.telemetry.NULL_TELEMETRY` reduces all
         instrumentation to no-ops.
+    evaluation:
+        Candidate-evaluation engine knobs
+        (:class:`~repro.core.evaluation.EvaluationConfig`):
+        ``naive=True`` restores the pre-engine exhaustive re-scan (the
+        differential-testing escape hatch), ``parallelism=N`` evaluates
+        and prices candidate partitions on a thread pool.  The default
+        is the incremental serial engine, which selects identical steps
+        with strictly fewer what-if calls.
     skip_oversized:
         When ``True`` (default), a step that would overshoot the budget
         is skipped and smaller fitting steps are still considered —
@@ -193,6 +154,7 @@ class ExtendAlgorithm:
         baseline: IndexConfiguration | None = None,
         telemetry: Telemetry = NULL_TELEMETRY,
         skip_oversized: bool = True,
+        evaluation: EvaluationConfig | None = None,
     ) -> None:
         if max_steps is not None and max_steps < 1:
             raise BudgetError(f"max_steps must be >= 1, got {max_steps}")
@@ -220,6 +182,7 @@ class ExtendAlgorithm:
         self._baseline = baseline or IndexConfiguration()
         self._telemetry = telemetry
         self._skip_oversized = skip_oversized
+        self._evaluation = evaluation or EvaluationConfig()
 
     # ------------------------------------------------------------------
     # Public API
@@ -265,6 +228,7 @@ class ExtendAlgorithm:
                     max_width=self._max_width,
                     n_best_singles=self._n_best_singles,
                     pair_seeds=self._pair_seeds,
+                    evaluation=self._evaluation,
                 )
 
             steps: list[ConstructionStep] = []
@@ -340,6 +304,7 @@ class ExtendAlgorithm:
                                 self._removal_event(removal)
                             )
 
+            state.close()
             runtime = time.perf_counter() - started
             configuration = state.configuration
             reconfiguration_cost = self._reconfiguration.cost(
@@ -358,6 +323,7 @@ class ExtendAlgorithm:
                     "extend.whatif_calls"
                 ).increment(statistics.calls - calls_before)
                 telemetry.record_whatif(statistics)
+                telemetry.record_evaluation(state.evaluation_statistics)
         return ExtendResult(
             algorithm=self.name,
             configuration=configuration,
@@ -375,7 +341,7 @@ class ExtendAlgorithm:
         self,
         telemetry: Telemetry,
         step: ConstructionStep,
-        runners_up: list[tuple["_Move", float, float]],
+        runners_up: list[tuple[CandidateMove, float, float]],
         *,
         whatif_calls: int,
         cache_hits: int,
@@ -465,6 +431,7 @@ class _ConstructionState:
         max_width: int | None,
         n_best_singles: int | None,
         pair_seeds: bool,
+        evaluation: EvaluationConfig,
     ) -> None:
         self._workload = workload
         self._schema = workload.schema
@@ -527,9 +494,15 @@ class _ConstructionState:
                     self._current[position] = cost
 
         self.last_candidates_considered = 0
-        self._single_moves: dict[int, _Move] = {}
-        self._extension_moves: dict[tuple[Index, int], _Move] = {}
-        self._branch_moves: dict[tuple[tuple[int, ...], int], _Move] = {}
+        self._table = BenefitTable(
+            naive=evaluation.naive,
+            parallelism=evaluation.effective_parallelism(optimizer),
+        )
+        self._single_moves: dict[int, CandidateMove] = {}
+        self._extension_moves: dict[tuple[Index, int], CandidateMove] = {}
+        self._branch_moves: dict[
+            tuple[tuple[int, ...], int], CandidateMove
+        ] = {}
         self._seed_singles(n_best_singles)
         if pair_seeds:
             self._seed_pairs()
@@ -552,6 +525,15 @@ class _ConstructionState:
             float(np.dot(self._weights, self._current))
             + self._maintenance_total
         )
+
+    @property
+    def evaluation_statistics(self):
+        """Engine counters of this run (``evaluation.*`` gauges)."""
+        return self._table.statistics
+
+    def close(self) -> None:
+        """Finalize the engine (fold never-priced moves into stats)."""
+        self._table.close()
 
     def _maintenance_delta(
         self, new_index: Index, old_index: Index | None = None
@@ -577,12 +559,16 @@ class _ConstructionState:
 
     def _seed_singles(self, n_best: int | None) -> None:
         accessed = sorted(self._queries_with)
-        moves: list[_Move] = []
+        moves: list[CandidateMove] = []
         for attribute_id in accessed:
             move = self._build_single_move(attribute_id)
             if move is not None:
                 moves.append(move)
         if n_best is not None and len(moves) > n_best:
+            # Remark 1 (1) ranks seeds by their *initial* exact ratio, so
+            # every single must be priced up front in both engine modes.
+            for move in moves:
+                move.price()
             moves.sort(
                 key=lambda move: -(
                     move.benefit(self._current) / move.memory_delta
@@ -591,6 +577,7 @@ class _ConstructionState:
             moves = moves[:n_best]
         for move in moves:
             self._single_moves[move.new_index.leading_attribute] = move
+            self._table.register(move)
 
     def _seed_pairs(self) -> None:
         """Remark 1 (4): canonical two-attribute seed indexes."""
@@ -618,60 +605,64 @@ class _ConstructionState:
                     )
                     if move is not None:
                         key = (index.attributes[:-1], index.attributes[-1])
-                        self._branch_moves.setdefault(key, move)
+                        if key not in self._branch_moves:
+                            self._branch_moves[key] = move
+                            self._table.register(move)
 
-    def _build_single_move(self, attribute_id: int) -> _Move | None:
+    def _pricer(self, index: Index, positions: np.ndarray):
+        """Deferred what-if pricing of ``index`` for the affected queries.
+
+        Bound eagerly (no late-binding hazard); runs at most once per
+        move, only if the move's optimistic bound earns a pricing call.
+        """
+        optimizer = self._optimizer
+        queries = self._queries
+
+        def price() -> np.ndarray:
+            return np.array(
+                [
+                    optimizer.index_cost(queries[position], index)
+                    for position in positions
+                ],
+                dtype=np.float64,
+            )
+
+        return price
+
+    def _build_single_move(self, attribute_id: int) -> CandidateMove | None:
         index = Index.of(self._schema, (attribute_id,))
         if index in self._selected:
             return None
         positions = self._queries_with[attribute_id]
-        costs = np.array(
-            [
-                self._optimizer.index_cost(self._queries[position], index)
-                for position in positions
-            ],
-            dtype=np.float64,
-        )
-        return _Move(
-            kind=StepKind.NEW_SINGLE,
-            old_index=None,
-            new_index=index,
-            memory_delta=index_memory(self._schema, index),
-            positions=positions,
-            costs=costs,
-            weights=self._weights[positions],
-            reconfiguration_delta=self._reconfiguration.creation_cost(
-                self._schema, index
-            ),
-            maintenance_penalty=self._maintenance_delta(index),
+        return CandidateMove(
+            StepKind.NEW_SINGLE,
+            None,
+            index,
+            index_memory(self._schema, index),
+            positions,
+            self._weights[positions],
+            self._reconfiguration.creation_cost(self._schema, index),
+            self._maintenance_delta(index),
+            pricer=self._pricer(index, positions),
         )
 
     def _build_set_move(
         self, kind: StepKind, index: Index, required: frozenset[int]
-    ) -> _Move | None:
+    ) -> CandidateMove | None:
         """A move creating ``index`` afresh, affecting queries ⊇ required."""
         positions = self._positions_containing(required)
         if positions.size == 0:
             return None
-        costs = np.array(
-            [
-                self._optimizer.index_cost(self._queries[position], index)
-                for position in positions
-            ],
-            dtype=np.float64,
-        )
-        return _Move(
-            kind=kind,
-            old_index=None,
-            new_index=index,
-            memory_delta=index_memory(self._schema, index),
-            positions=positions,
-            costs=costs,
-            weights=self._weights[positions],
-            reconfiguration_delta=self._reconfiguration.creation_cost(
-                self._schema, index
-            ),
-            maintenance_penalty=self._maintenance_delta(index),
+        return CandidateMove(
+            kind,
+            None,
+            index,
+            index_memory(self._schema, index),
+            positions,
+            self._weights[positions],
+            self._reconfiguration.creation_cost(self._schema, index),
+            self._maintenance_delta(index),
+            pricer=self._pricer(index, positions),
         )
 
     def _positions_containing(self, required: frozenset[int]) -> np.ndarray:
@@ -703,11 +694,16 @@ class _ConstructionState:
                 continue
             move = self._build_extension_move(index, attribute.id)
             if move is not None:
-                self._extension_moves[(index, attribute.id)] = move
+                key = (index, attribute.id)
+                stale = self._extension_moves.get(key)
+                if stale is not None:
+                    self._table.retire(stale)
+                self._extension_moves[key] = move
+                self._table.register(move)
 
     def _build_extension_move(
         self, index: Index, attribute_id: int
-    ) -> _Move | None:
+    ) -> CandidateMove | None:
         extended = index.extended_by(attribute_id)
         if extended in self._selected:
             return None
@@ -715,15 +711,6 @@ class _ConstructionState:
         positions = self._positions_containing(required)
         if positions.size == 0:
             return None
-        costs = np.array(
-            [
-                self._optimizer.index_cost(
-                    self._queries[position], extended
-                )
-                for position in positions
-            ],
-            dtype=np.float64,
-        )
         memory_delta = index_memory(self._schema, extended) - index_memory(
             self._schema, index
         )
@@ -736,18 +723,16 @@ class _ConstructionState:
             reconfiguration_delta = self._reconfiguration.creation_cost(
                 self._schema, extended
             ) + self._reconfiguration.drop_cost(self._schema, index)
-        return _Move(
-            kind=StepKind.EXTEND,
-            old_index=index,
-            new_index=extended,
-            memory_delta=max(memory_delta, 1),
-            positions=positions,
-            costs=costs,
-            weights=self._weights[positions],
-            reconfiguration_delta=reconfiguration_delta,
-            maintenance_penalty=self._maintenance_delta(
-                extended, index
-            ),
+        return CandidateMove(
+            StepKind.EXTEND,
+            index,
+            extended,
+            max(memory_delta, 1),
+            positions,
+            self._weights[positions],
+            reconfiguration_delta,
+            self._maintenance_delta(extended, index),
+            pricer=self._pricer(extended, positions),
         )
 
     def materialize_branches(
@@ -795,6 +780,7 @@ class _ConstructionState:
             )
             if move is not None:
                 self._branch_moves[key] = move
+                self._table.register(move)
         missed[:] = still_pending
 
     # ------------------------------------------------------------------
@@ -806,52 +792,28 @@ class _ConstructionState:
         runner_up_count: int = 0,
         max_memory_delta: float | None = None,
     ) -> tuple[
-        tuple[_Move, float] | None, list[tuple[_Move, float, float]]
+        tuple[CandidateMove, float] | None,
+        list[tuple[CandidateMove, float, float]],
     ]:
         """The move with the best benefit/memory ratio, plus runners-up.
 
-        Only moves with strictly positive net benefit qualify; when
+        Delegates to the :class:`~repro.core.evaluation.BenefitTable`:
+        only moves with strictly positive net benefit qualify; when
         ``max_memory_delta`` is given, moves that would not fit the
         remaining budget are skipped.  Ties on the ratio are broken by
         larger absolute benefit, then by the deterministic move key.
         Runners-up come back as ``(move, benefit, ratio)`` so callers
         (missed-opportunity tracking, step-event logging) need not
         re-price them; :attr:`last_candidates_considered` records how
-        many moves were scored for this decision.
+        many pooled moves were in contention for this decision.
         """
-        scored: list[tuple[float, float, _Move]] = []
-        considered = 0
-        for move in self._iter_moves():
-            considered += 1
-            if (
-                max_memory_delta is not None
-                and move.memory_delta > max_memory_delta
-            ):
-                continue
-            benefit = move.benefit(self._current)
-            if benefit <= 0.0:
-                continue
-            scored.append((benefit / move.memory_delta, benefit, move))
-        self.last_candidates_considered = considered
-        if not scored:
-            return None, []
-        scored.sort(
-            key=lambda entry: (-entry[0], -entry[1], entry[2].sort_key())
+        self.last_candidates_considered = len(self._table)
+        return self._table.best(
+            self._current, runner_up_count, max_memory_delta
         )
-        best_ratio, best_benefit, best = scored[0]
-        runners_up = [
-            (entry[2], entry[1], entry[0])
-            for entry in scored[1 : 1 + runner_up_count]
-        ]
-        return (best, best_benefit), runners_up
-
-    def _iter_moves(self) -> Iterable[_Move]:
-        yield from self._single_moves.values()
-        yield from self._extension_moves.values()
-        yield from self._branch_moves.values()
 
     def apply(
-        self, move: _Move, benefit: float, step_number: int
+        self, move: CandidateMove, benefit: float, step_number: int
     ) -> ConstructionStep:
         """Apply a chosen move and return the recorded step."""
         cost_before = self.total_cost + self._baseline_reconfiguration()
@@ -861,12 +823,14 @@ class _ConstructionState:
             assert move.old_index is not None
             self._selected.discard(move.old_index)
             self._selected.add(move.new_index)
-            # Retire moves extending the morphed index.
+            # Retire moves extending the morphed index (the applied
+            # move itself is among them).
             for key in [
                 key
                 for key in self._extension_moves
                 if key[0] == move.old_index
             ]:
+                self._table.retire(self._extension_moves[key])
                 del self._extension_moves[key]
             # Queries that relied on the old index now rely on the new
             # one (same usable prefix, same cost).
@@ -886,6 +850,7 @@ class _ConstructionState:
                     if pending is move
                 ]:
                     del self._branch_moves[key]
+            self._table.retire(move)
 
         self.memory += move.memory_delta
         self._maintenance_total += move.maintenance_penalty
@@ -895,6 +860,10 @@ class _ConstructionState:
         self._current[improved_positions] = move.costs[improved]
         for position in improved_positions:
             self._best_index[int(position)] = move.new_index
+
+        # Dirty set: only candidates touching a query whose current
+        # cost just changed need re-evaluation next round.
+        self._table.invalidate(improved_positions)
 
         self._add_extension_moves(move.new_index)
 
@@ -944,6 +913,7 @@ class _ConstructionState:
             for key in [
                 key for key in self._extension_moves if key[0] == index
             ]:
+                self._table.retire(self._extension_moves[key])
                 del self._extension_moves[key]
             steps.append(
                 ConstructionStep(

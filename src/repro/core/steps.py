@@ -186,6 +186,44 @@ class SelectionResult:
             f"{status_note}"
         )
 
+    def step_trace(self) -> tuple[str, ...]:
+        """Compact, comparison-friendly signature of the step series.
+
+        One line per step — kind, index transition, formatted
+        (``%.6g``) cost and exact memory after the step — independent
+        of wall-clock and call-count fields.  This is what the
+        property-based equivalence suite and the golden fixtures
+        compare: two runs that selected identical steps produce
+        identical traces, and a mismatch diffs legibly.
+        """
+        lines = []
+        for step in self.steps:
+            before = (
+                ",".join(map(str, step.index_before.attributes))
+                if step.index_before
+                else "-"
+            )
+            after = (
+                ",".join(map(str, step.index_after.attributes))
+                if step.index_after
+                else "-"
+            )
+            lines.append(
+                f"{step.step_number:03d} {step.kind.value} "
+                f"[{before}] -> [{after}] "
+                f"cost={step.cost_after:.6g} mem={step.memory_after}"
+            )
+        return tuple(lines)
+
+    def configuration_signature(self) -> tuple[tuple[str, tuple], ...]:
+        """Sorted, hashable view of the final configuration."""
+        return tuple(
+            sorted(
+                (index.table_name, index.attributes)
+                for index in self.configuration
+            )
+        )
+
 
 def format_steps(
     steps: tuple[ConstructionStep, ...], schema: Schema | None = None

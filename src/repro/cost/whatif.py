@@ -19,6 +19,7 @@ through :class:`WhatIfOptimizer`, so call accounting is uniform.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Protocol
 
@@ -134,6 +135,9 @@ class WhatIfOptimizer:
         self._cache: dict[tuple, float] = {}
         self._maintenance_cache: dict[tuple, float] = {}
         self._statistics = WhatIfStatistics()
+        # Guards cache/statistics mutation so the facade can be shared
+        # by the evaluation engine's worker threads.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Accounting
@@ -149,14 +153,35 @@ class WhatIfOptimizer:
         """Number of backend (non-cached) what-if calls so far."""
         return self._statistics.calls
 
+    @property
+    def parallel_safe(self) -> bool:
+        """Whether the facade may be shared by evaluation workers.
+
+        The facade itself is internally locked; thread compatibility is
+        therefore decided by the backend (the seeded fault injector is
+        order-dependent and opts out via ``parallel_safe = False``;
+        a missing attribute means safe).
+        """
+        return getattr(self._source, "parallel_safe", True)
+
     def reset_statistics(self) -> None:
         """Zero the call counters (the cache itself is kept)."""
-        self._statistics.reset()
+        with self._lock:
+            self._statistics.reset()
 
     def clear_cache(self) -> None:
-        """Drop all cached costs (counters are kept)."""
-        self._cache.clear()
-        self._maintenance_cache.clear()
+        """Drop all cached costs *and* zero the counters, atomically.
+
+        Counters and cache must move together: a cleared cache with
+        surviving ``cache_hits`` would report an inflated ``hit_rate``
+        for the rest of the run (hits that can no longer be explained by
+        any cached entry).  Callers that want counters across epochs
+        should capture ``statistics.copy()`` before clearing.
+        """
+        with self._lock:
+            self._cache.clear()
+            self._maintenance_cache.clear()
+            self._statistics.reset()
 
     # ------------------------------------------------------------------
     # Cost queries
@@ -193,13 +218,14 @@ class WhatIfOptimizer:
             query.kind,
             index,
         )
-        cached = self._maintenance_cache.get(key)
+        with self._lock:
+            cached = self._maintenance_cache.get(key)
         if cached is not None:
             return cached
         backend = getattr(self._source, "maintenance_cost", None)
         cost = 0.0 if backend is None else backend(query, index)
-        self._maintenance_cache[key] = cost
-        return cost
+        with self._lock:
+            return self._maintenance_cache.setdefault(key, cost)
 
     def configuration_cost(
         self, query: Query, configuration: IndexConfiguration | Iterable[Index]
@@ -264,13 +290,15 @@ class WhatIfOptimizer:
             query.kind,
             applicable,
         )
-        cached = self._cache.get(key)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._statistics.cache_hits += 1
         if cached is None:
             cached = backend(query, applicable)
-            self._statistics.calls += 1
-            self._cache[key] = cached
-        else:
-            self._statistics.cache_hits += 1
+            with self._lock:
+                self._statistics.calls += 1
+                cached = self._cache.setdefault(key, cached)
         cost = cached
         if not query.is_select:
             cost += sum(
@@ -320,11 +348,16 @@ class WhatIfOptimizer:
 
     def _lookup(self, query: Query, index: Index | None) -> float:
         key = (query.table_name, query.attributes, query.kind, index)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._statistics.cache_hits += 1
-            return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._statistics.cache_hits += 1
+                return cached
+        # The backend call runs unlocked (it may be an expensive what-if
+        # round trip); a racing worker that also misses counts as a call
+        # too — both did hit the backend — and the first stored value
+        # wins (backends are deterministic, so they agree anyway).
         cost = self._source.query_cost(query, index)
-        self._statistics.calls += 1
-        self._cache[key] = cost
-        return cost
+        with self._lock:
+            self._statistics.calls += 1
+            return self._cache.setdefault(key, cost)

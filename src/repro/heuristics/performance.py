@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.evaluation import price_columns
 from repro.heuristics.base import RankingHeuristic
 from repro.heuristics.skyline import skyline_filter
 from repro.indexes.index import Index
@@ -69,6 +70,13 @@ class PerformanceHeuristic(RankingHeuristic):
         self, workload: Workload, candidates: Sequence[Index]
     ) -> list[Index]:
         pool = list(candidates)
+        if self.parallelism > 1:
+            price_columns(
+                self.optimizer,
+                workload.queries,
+                pool,
+                parallelism=self.parallelism,
+            )
         if self._use_skyline:
             pool = skyline_filter(workload, pool, self.optimizer)
         return sorted(
@@ -96,6 +104,13 @@ class BenefitPerSizeHeuristic(RankingHeuristic):
         self, workload: Workload, candidates: Sequence[Index]
     ) -> list[Index]:
         schema = workload.schema
+        if self.parallelism > 1:
+            price_columns(
+                self.optimizer,
+                workload.queries,
+                candidates,
+                parallelism=self.parallelism,
+            )
         return sorted(
             candidates,
             key=lambda index: (

@@ -30,6 +30,7 @@ every retry and breaker path deterministically.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import Callable, Sequence
 
@@ -87,6 +88,12 @@ class ResilientCostSource:
         self._rng = random.Random(seed)
         self._stale: dict[tuple, float] = {}
         self._statistics = ResilienceStatistics()
+        # Serializes the retry/breaker/stale-cache state machine: the
+        # evaluation engine may share this wrapper across worker
+        # threads, and breaker transitions plus the jitter RNG are
+        # order-dependent.  RLock because a fallback could itself be a
+        # resilient source.
+        self._lock = threading.RLock()
         self._breaker = CircuitBreaker(
             self._policy.breaker_threshold,
             self._policy.breaker_reset_s,
@@ -142,6 +149,17 @@ class ResilientCostSource:
         """Entries available for stale-cache fallback."""
         return len(self._stale)
 
+    @property
+    def parallel_safe(self) -> bool:
+        """Whether evaluation workers may share this wrapper.
+
+        The wrapper itself is internally locked, so the verdict is the
+        primary backend's: the seeded fault injector replays an
+        order-dependent failure schedule and opts out
+        (``parallel_safe = False``); a missing attribute means safe.
+        """
+        return getattr(self._source, "parallel_safe", True)
+
     # ------------------------------------------------------------------
     # CostSource protocol
     # ------------------------------------------------------------------
@@ -191,6 +209,10 @@ class ResilientCostSource:
         )
 
     def _call(self, method: str, key: tuple, *args) -> float:
+        with self._lock:
+            return self._call_locked(method, key, *args)
+
+    def _call_locked(self, method: str, key: tuple, *args) -> float:
         statistics = self._statistics
         primary = getattr(self._source, method, None)
         if primary is None:

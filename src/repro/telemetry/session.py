@@ -82,6 +82,15 @@ class Telemetry:
         state, fault counters."""
         statistics.publish(self.metrics, prefix=prefix)
 
+    def record_evaluation(
+        self, statistics, prefix: str = "evaluation"
+    ) -> None:
+        """Bridge an
+        :class:`~repro.core.evaluation.EvaluationStatistics` into the
+        registry as gauges — rounds, evaluations, reuse rate,
+        invalidations, priced/pruned candidates, parallelism."""
+        statistics.publish(self.metrics, prefix=prefix)
+
     def snapshot(self) -> TelemetrySnapshot:
         """Immutable view of metrics, finished spans, and events."""
         return TelemetrySnapshot(
@@ -134,6 +143,11 @@ class _DisabledTelemetry:
 
     def record_resilience(
         self, statistics, prefix: str = "resilience"
+    ) -> None:
+        pass
+
+    def record_evaluation(
+        self, statistics, prefix: str = "evaluation"
     ) -> None:
         pass
 

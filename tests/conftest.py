@@ -4,6 +4,24 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden fixture JSON under tests/golden/ from "
+            "the current implementation instead of comparing against it"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))
+
 from repro.cost.model import CostModel
 from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
 from repro.workload.generator import GeneratorConfig, generate_workload

@@ -1,0 +1,127 @@
+"""Property-based equivalence: incremental engine vs the naive scan.
+
+The incremental candidate-evaluation engine must be *observationally
+identical* to the exhaustive re-evaluation loop it replaced: same step
+sequence, same final configuration, same memory, same cost — for every
+workload, budget, and parallelism level.  These tests hammer that
+guarantee with randomized workloads drawn from the same Hypothesis
+strategies as the integration property suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import EvaluationConfig
+from repro.core.extend import ExtendAlgorithm
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.indexes.memory import relative_budget
+from tests.integration.test_properties import random_workloads
+
+
+def _run(workload, share, evaluation, **kwargs):
+    """One Extend run with a fresh optimizer (independent cache/stats)."""
+    optimizer = WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+    budget = relative_budget(workload.schema, share)
+    result = ExtendAlgorithm(
+        optimizer, evaluation=evaluation, **kwargs
+    ).select(workload, budget)
+    return result, optimizer
+
+
+def _assert_equivalent(reference, candidate):
+    assert candidate.step_trace() == reference.step_trace()
+    assert (
+        candidate.configuration_signature()
+        == reference.configuration_signature()
+    )
+    assert candidate.memory == reference.memory
+    assert candidate.total_cost == pytest.approx(
+        reference.total_cost, rel=1e-12
+    )
+
+
+class TestIncrementalEquivalence:
+    """naive_evaluation=True is the ground truth; everything else must
+    match it exactly.  2 parallelism levels x 100 examples = 200 cases,
+    plus the variant/frugality suites below."""
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    @given(
+        workload=random_workloads(),
+        share=st.floats(min_value=0.0, max_value=0.6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_scan(self, workload, share, parallelism):
+        naive, _ = _run(workload, share, EvaluationConfig(naive=True))
+        incremental, _ = _run(
+            workload, share, EvaluationConfig(parallelism=parallelism)
+        )
+        _assert_equivalent(naive, incremental)
+
+    @given(
+        workload=random_workloads(),
+        share=st.floats(min_value=0.0, max_value=0.6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive_scan_with_variant_knobs(self, workload, share):
+        knobs = dict(
+            n_best_singles=3,
+            prune_unused=True,
+            pair_seeds=True,
+            missed_opportunities=2,
+        )
+        naive, _ = _run(
+            workload, share, EvaluationConfig(naive=True), **knobs
+        )
+        incremental, _ = _run(workload, share, EvaluationConfig(), **knobs)
+        _assert_equivalent(naive, incremental)
+
+    @given(
+        workload=random_workloads(),
+        share=st.floats(min_value=0.0, max_value=0.6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_never_costs_more_what_if_calls(self, workload, share):
+        """Laziness + reuse must not *increase* backend traffic."""
+        _, naive_optimizer = _run(
+            workload, share, EvaluationConfig(naive=True)
+        )
+        _, incremental_optimizer = _run(
+            workload, share, EvaluationConfig()
+        )
+        assert (
+            incremental_optimizer.statistics.calls
+            <= naive_optimizer.statistics.calls
+        )
+
+
+class TestAdvisorEscapeHatch:
+    def test_recommend_naive_evaluation_flag(self, small_workload):
+        """The advisor-level escape hatch produces identical output."""
+        from repro.advisor import IndexAdvisor
+
+        results = {}
+        for naive in (False, True):
+            recommendation = IndexAdvisor(small_workload.schema).recommend(
+                small_workload,
+                budget_share=0.2,
+                algorithm="extend",
+                naive_evaluation=naive,
+            )
+            extend = recommendation.result
+            results[naive] = (
+                extend.step_trace(),
+                extend.configuration_signature(),
+                extend.memory,
+                extend.total_cost,
+            )
+        assert results[False][:3] == results[True][:3]
+        assert results[False][3] == pytest.approx(
+            results[True][3], rel=1e-12
+        )

@@ -69,6 +69,28 @@ class TestCaching:
         optimizer.sequential_cost(query)
         assert source.invocations == 2
 
+    def test_clear_cache_resets_statistics_atomically(
+        self, counting, tiny_workload
+    ):
+        """Regression: clearing the cache used to keep the old counters,
+        so hit_rate reported hits against entries that no longer existed.
+        """
+        source, optimizer = counting
+        query = tiny_workload.queries[0]
+        optimizer.sequential_cost(query)
+        optimizer.sequential_cost(query)  # cache hit
+        assert optimizer.statistics.cache_hits == 1
+        optimizer.clear_cache()
+        assert optimizer.calls == 0
+        assert optimizer.statistics.cache_hits == 0
+        assert optimizer.statistics.total_requests == 0
+        assert optimizer.statistics.hit_rate == 0.0
+        # Counters restart from the cleared cache, not the old epoch.
+        optimizer.sequential_cost(query)
+        assert optimizer.calls == 1
+        assert optimizer.statistics.cache_hits == 0
+        assert source.invocations == 2
+
     def test_reset_statistics(self, counting, tiny_workload):
         _, optimizer = counting
         optimizer.sequential_cost(tiny_workload.queries[0])

@@ -205,6 +205,49 @@ class TestDeadlineDegradation:
         assert restored.configuration == bounded.configuration
         assert restored.total_cost == bounded.total_cost
 
+    def test_deadline_with_warm_benefit_table_yields_trace_prefix(
+        self, small_workload
+    ):
+        """Deadline expiry mid-round must not let the incremental
+        engine's warm benefit table leak into the result: the degraded
+        run's steps are an exact prefix of the uninterrupted serial
+        run's step trace, and identical to a deadline-bounded naive run
+        under the same clock."""
+        from repro.core.evaluation import EvaluationConfig
+        from repro.indexes.memory import relative_budget
+
+        budget = relative_budget(small_workload.schema, 0.5)
+
+        def run(evaluation, deadline=None):
+            optimizer = WhatIfOptimizer(
+                AnalyticalCostSource(CostModel(small_workload.schema))
+            )
+            return ExtendAlgorithm(
+                optimizer, evaluation=evaluation
+            ).select(small_workload, budget, deadline=deadline)
+
+        full = run(EvaluationConfig())
+        assert len(full.steps) > 3  # enough rounds to interrupt
+
+        # One poll per round; the table is warm (caches from rounds
+        # 1-3) when the deadline fires.
+        bounded = run(
+            EvaluationConfig(),
+            deadline=Deadline(3.0, clock=_TickingClock(1.0)),
+        )
+        assert bounded.status == STATUS_DEGRADED
+        trace = bounded.step_trace()
+        assert 0 < len(trace) < len(full.steps)
+        assert trace == full.step_trace()[: len(trace)]
+
+        naive_bounded = run(
+            EvaluationConfig(naive=True),
+            deadline=Deadline(3.0, clock=_TickingClock(1.0)),
+        )
+        assert naive_bounded.step_trace() == trace
+        assert naive_bounded.memory == bounded.memory
+        assert naive_bounded.total_cost == bounded.total_cost
+
     def test_zero_deadline_through_the_advisor(self, small_workload):
         """``deadline_s=0`` degrades immediately but still returns a
         well-formed (empty) recommendation instead of raising."""
