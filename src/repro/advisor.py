@@ -28,6 +28,7 @@ from repro.core.evaluation import EvaluationConfig
 from repro.core.extend import ExtendAlgorithm
 from repro.core.localsearch import swap_local_search
 from repro.core.steps import STATUS_DEGRADED, SelectionResult
+from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
 from repro.cost.whatif import (
     AnalyticalCostSource,
@@ -78,6 +79,8 @@ _ALGORITHMS = (
     "h4+skyline",
     "h5",
 )
+
+_COST_KERNELS = ("scalar", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -130,6 +133,12 @@ class IndexAdvisor:
     resilience:
         Default retry/breaker policy; can be overridden per call via
         ``recommend(resilience=...)``.
+    cost_kernel:
+        Default analytic backend flavour: ``"vectorized"`` (the
+        compiled batch kernel of :mod:`repro.cost.kernel`, default) or
+        ``"scalar"`` (the pure-Python :class:`CostModel`).  Both price
+        every pair within 1e-9 relative tolerance of each other;
+        overridable per call via ``recommend(cost_kernel=...)``.
     """
 
     def __init__(
@@ -139,15 +148,26 @@ class IndexAdvisor:
         telemetry: Telemetry = NULL_TELEMETRY,
         cost_source: CostSource | None = None,
         resilience: ResiliencePolicy | None = None,
+        cost_kernel: str = "vectorized",
     ) -> None:
+        if cost_kernel not in _COST_KERNELS:
+            raise ExperimentError(
+                f"unknown cost kernel {cost_kernel!r}; pick one of "
+                f"{', '.join(_COST_KERNELS)}"
+            )
         self._schema = schema
-        analytical = AnalyticalCostSource(CostModel(schema))
-        primary = cost_source if cost_source is not None else analytical
-        fallbacks = () if primary is analytical else (analytical,)
-        self._resilient = ResilientCostSource(
-            primary, policy=resilience, fallbacks=fallbacks
-        )
-        self._optimizer = WhatIfOptimizer(self._resilient)
+        self._cost_source = cost_source
+        self._policy = resilience
+        self._default_kernel = cost_kernel
+        # One (resilient source, facade) stack per kernel flavour, built
+        # lazily: per-kernel caches must never mix (a cached vectorized
+        # cost answering a scalar-kernel run would blur the 1e-9
+        # equivalence contract into the differential tests).
+        self._analytic_sources: dict[str, CostSource] = {}
+        self._stacks: dict[
+            str, tuple[ResilientCostSource, WhatIfOptimizer]
+        ] = {}
+        self._resilient, self._optimizer = self._stack(cost_kernel)
         self._telemetry = telemetry
 
     @property
@@ -169,6 +189,39 @@ class IndexAdvisor:
     def resilience(self) -> ResilientCostSource:
         """The resilient cost backend (breaker, retry counters)."""
         return self._resilient
+
+    # ------------------------------------------------------------------
+    # Cost-kernel stacks
+    # ------------------------------------------------------------------
+
+    def _analytic_source(self, kernel: str) -> CostSource:
+        source = self._analytic_sources.get(kernel)
+        if source is None:
+            if kernel == "vectorized":
+                source = VectorizedCostSource(self._schema)
+            else:
+                source = AnalyticalCostSource(CostModel(self._schema))
+            self._analytic_sources[kernel] = source
+        return source
+
+    def _stack(
+        self, kernel: str
+    ) -> tuple[ResilientCostSource, WhatIfOptimizer]:
+        stack = self._stacks.get(kernel)
+        if stack is None:
+            analytical = self._analytic_source(kernel)
+            primary = (
+                self._cost_source
+                if self._cost_source is not None
+                else analytical
+            )
+            fallbacks = () if primary is analytical else (analytical,)
+            resilient = ResilientCostSource(
+                primary, policy=self._policy, fallbacks=fallbacks
+            )
+            stack = (resilient, WhatIfOptimizer(resilient))
+            self._stacks[kernel] = stack
+        return stack
 
     # ------------------------------------------------------------------
     # Input coercion
@@ -226,6 +279,7 @@ class IndexAdvisor:
         solver_time_limit: float = 120.0,
         parallelism: int = 1,
         naive_evaluation: bool = False,
+        cost_kernel: str | None = None,
     ) -> Recommendation:
         """Compute an index recommendation.
 
@@ -268,23 +322,39 @@ class IndexAdvisor:
             exhaustive candidate re-scan (eager pricing, full
             re-evaluation per round).  Selects the identical steps as
             the incremental engine, just with far more what-if calls.
+        cost_kernel:
+            Analytic backend flavour for this call (``"scalar"`` or
+            ``"vectorized"``); ``None`` (default) uses the advisor's
+            constructor default.  Each flavour keeps its own what-if
+            cache and call counters.
         """
         if algorithm not in _ALGORITHMS:
             raise ExperimentError(
                 f"unknown algorithm {algorithm!r}; pick one of "
                 f"{', '.join(_ALGORITHMS)}"
             )
+        kernel = (
+            cost_kernel if cost_kernel is not None else self._default_kernel
+        )
+        if kernel not in _COST_KERNELS:
+            raise ExperimentError(
+                f"unknown cost kernel {kernel!r}; pick one of "
+                f"{', '.join(_COST_KERNELS)}"
+            )
         resolved = self._coerce_workload(workload)
         budget = self._coerce_budget(budget_share, budget_bytes)
+        resilient, optimizer = self._stack(kernel)
         if resilience is not None:
-            self._resilient.policy = resilience
+            self._policy = resilience
+            for existing, _ in self._stacks.values():
+                existing.policy = resilience
         deadline = Deadline(deadline_s)
         telemetry = self._telemetry
 
         evaluation = EvaluationConfig(
             naive=naive_evaluation, parallelism=parallelism
         )
-        stats_before = self._optimizer.statistics.copy()
+        stats_before = optimizer.statistics.copy()
         with telemetry.tracer.span(
             "advisor.recommend", algorithm=algorithm
         ):
@@ -296,21 +366,25 @@ class IndexAdvisor:
                 deadline,
                 solver_time_limit,
                 evaluation,
+                optimizer,
             )
-            run_statistics = self._optimizer.statistics.since(
+            run_statistics = optimizer.statistics.since(
                 stats_before
             )
             with telemetry.tracer.span("advisor.report"):
                 report = build_report(
                     resolved,
-                    self._optimizer,
+                    optimizer,
                     result,
                     hot_spot_count=hot_spot_count,
                     whatif_statistics=run_statistics,
                 )
         if telemetry.enabled:
-            telemetry.record_whatif(self._optimizer.statistics)
-            telemetry.record_resilience(self._resilient.statistics)
+            telemetry.record_whatif(optimizer.statistics)
+            telemetry.record_resilience(resilient.statistics)
+            kernel_source = self._analytic_sources.get("vectorized")
+            if kernel_source is not None:
+                telemetry.record_kernel(kernel_source.statistics)
         return Recommendation(
             workload=resolved,
             result=result,
@@ -327,12 +401,13 @@ class IndexAdvisor:
         deadline: Deadline,
         solver_time_limit: float,
         evaluation: EvaluationConfig,
+        optimizer: WhatIfOptimizer,
     ) -> SelectionResult:
         telemetry = self._telemetry
-        parallelism = evaluation.effective_parallelism(self._optimizer)
+        parallelism = evaluation.effective_parallelism(optimizer)
         if algorithm in ("extend", "extend+swap"):
             result = ExtendAlgorithm(
-                self._optimizer,
+                optimizer,
                 telemetry=telemetry,
                 evaluation=evaluation,
             ).select(workload, budget, deadline=deadline)
@@ -342,7 +417,7 @@ class IndexAdvisor:
                 )
                 result = swap_local_search(
                     workload,
-                    self._optimizer,
+                    optimizer,
                     result,
                     budget,
                     candidates,
@@ -358,7 +433,7 @@ class IndexAdvisor:
         if algorithm == "cophy":
             try:
                 return CoPhyAlgorithm(
-                    self._optimizer,
+                    optimizer,
                     time_limit=solver_time_limit,
                     telemetry=telemetry,
                 ).select(workload, budget, candidates, deadline=deadline)
@@ -371,7 +446,7 @@ class IndexAdvisor:
                         "advisor.solver_fallbacks"
                     ).increment()
                 fallback = ExtendAlgorithm(
-                    self._optimizer,
+                    optimizer,
                     telemetry=telemetry,
                     evaluation=evaluation,
                 ).select(workload, budget, deadline=deadline)
@@ -386,19 +461,19 @@ class IndexAdvisor:
         }
         if algorithm in heuristics:
             return heuristics[algorithm](
-                self._optimizer,
+                optimizer,
                 telemetry=telemetry,
                 parallelism=parallelism,
             ).select(workload, budget, candidates, deadline=deadline)
         if algorithm == "h4":
             return PerformanceHeuristic(
-                self._optimizer,
+                optimizer,
                 telemetry=telemetry,
                 parallelism=parallelism,
             ).select(workload, budget, candidates, deadline=deadline)
         assert algorithm == "h4+skyline"
         return PerformanceHeuristic(
-            self._optimizer,
+            optimizer,
             use_skyline=True,
             telemetry=telemetry,
             parallelism=parallelism,

@@ -38,6 +38,7 @@ from repro.cophy.solver import CoPhyAlgorithm
 from repro.core.evaluation import EvaluationConfig
 from repro.core.extend import ExtendAlgorithm
 from repro.core.steps import SelectionResult, format_steps
+from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
 from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
 from repro.exceptions import ExperimentError, ReproError
@@ -159,9 +160,15 @@ def _run_algorithm(
 def _build_cost_stack(
     arguments: argparse.Namespace, workload: Workload
 ) -> tuple[WhatIfOptimizer, ResilientCostSource,
-           FaultInjectingCostSource | None]:
+           FaultInjectingCostSource | None,
+           VectorizedCostSource | None]:
     """Assemble analytic backend → fault injector → resilient wrapper."""
-    analytical = AnalyticalCostSource(CostModel(workload.schema))
+    kernel: VectorizedCostSource | None = None
+    if arguments.cost_kernel == "vectorized":
+        kernel = VectorizedCostSource(workload.schema)
+        analytical = kernel
+    else:
+        analytical = AnalyticalCostSource(CostModel(workload.schema))
     injector: FaultInjectingCostSource | None = None
     primary = analytical
     fallbacks: tuple = ()
@@ -182,12 +189,12 @@ def _build_cost_stack(
         ),
         fallbacks=fallbacks,
     )
-    return WhatIfOptimizer(resilient), resilient, injector
+    return WhatIfOptimizer(resilient), resilient, injector, kernel
 
 
 def _advise(arguments: argparse.Namespace) -> int:
     workload = _build_workload(arguments)
-    optimizer, resilient, injector = _build_cost_stack(
+    optimizer, resilient, injector, kernel = _build_cost_stack(
         arguments, workload
     )
     deadline = Deadline(arguments.deadline)
@@ -254,6 +261,8 @@ def _advise(arguments: argparse.Namespace) -> int:
     if telemetry.enabled:
         statistics.publish(telemetry.metrics)
         resilient.statistics.publish(telemetry.metrics)
+        if kernel is not None:
+            kernel.statistics.publish(telemetry.metrics)
         if injector is not None:
             injector.statistics.publish(telemetry.metrics)
         if arguments.metrics:
@@ -313,6 +322,13 @@ def main(argv: list[str] | None = None) -> int:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget for the selection; on expiry the "
         "best-so-far configuration is returned tagged 'degraded'",
+    )
+    advise.add_argument(
+        "--cost-kernel", choices=("scalar", "vectorized"),
+        default="vectorized",
+        help="analytic cost backend flavour: the compiled numpy batch "
+        "kernel (default) or the pure-Python scalar model; both agree "
+        "within 1e-9 relative tolerance",
     )
     advise.add_argument(
         "--max-retries", type=int, default=3,

@@ -114,7 +114,26 @@ def build_problem(
             (index.table_name, index.leading_attribute), []
         ).append(index)
 
-    sequential = [optimizer.sequential_cost(query) for query in queries]
+    if getattr(optimizer, "supports_batch", False):
+        # Warm the facade one candidate column at a time (the bucketed
+        # loop below prices exactly the applicable pairs, so it then
+        # runs on pure cache hits with identical accounting).
+        sequential = [
+            float(cost)
+            for cost in optimizer.sequential_costs(queries)
+        ]
+        for index in candidates:
+            column = [
+                query
+                for query in queries
+                if index.is_applicable_to(query)
+            ]
+            if column:
+                optimizer.index_costs(column, index)
+    else:
+        sequential = [
+            optimizer.sequential_cost(query) for query in queries
+        ]
     applicable: dict[int, list[tuple[Index, float]]] = {
         position: [] for position in range(len(queries))
     }

@@ -614,6 +614,37 @@ def price_columns(
     loops are pure cache hits either way.
     """
     candidates = [index for index in dict.fromkeys(indexes)]
+    if getattr(optimizer, "supports_pair_batch", False):
+        # Whole-table pair pricing: every applicable (query, candidate)
+        # pair flattens into one backend sweep — same pair set and the
+        # same facade accounting as the per-candidate loops below.
+        # Attribute ids are owned by one table, so leading-attribute
+        # membership is exactly Index.is_applicable_to.
+        by_leading: dict[int, list] = {}
+        for query in queries:
+            for attribute_id in query.attributes:
+                by_leading.setdefault(attribute_id, []).append(query)
+        optimizer.pair_costs(
+            [
+                (query, index)
+                for index in candidates
+                for query in by_leading.get(index.leading_attribute, ())
+            ]
+        )
+        return
+    if getattr(optimizer, "supports_batch", False):
+        # The compiled kernel prices a whole applicable column in one
+        # batched call — cheaper than thread fan-out, and the facade
+        # accounting matches the per-pair loops below exactly.
+        for index in candidates:
+            applicable = [
+                query
+                for query in queries
+                if index.is_applicable_to(query)
+            ]
+            if applicable:
+                optimizer.index_costs(applicable, index)
+        return
     workers = parallelism
     if workers > 1 and not getattr(optimizer, "parallel_safe", True):
         workers = 1

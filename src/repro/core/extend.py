@@ -445,10 +445,15 @@ class _ConstructionState:
         self._weights = np.array(
             [query.frequency for query in queries], dtype=np.float64
         )
-        self._current = np.array(
-            [optimizer.sequential_cost(query) for query in queries],
-            dtype=np.float64,
-        )
+        if getattr(optimizer, "supports_batch", False):
+            self._current = np.asarray(
+                optimizer.sequential_costs(queries), dtype=np.float64
+            )
+        else:
+            self._current = np.array(
+                [optimizer.sequential_cost(query) for query in queries],
+                dtype=np.float64,
+            )
         self._best_index: list[Index | None] = [None] * len(queries)
 
         # Inverted lists: attribute id -> positions of queries using it.
@@ -617,6 +622,22 @@ class _ConstructionState:
         """
         optimizer = self._optimizer
         queries = self._queries
+
+        if getattr(optimizer, "supports_batch", False):
+
+            def price_batched() -> np.ndarray:
+                # Affected positions always contain the index's leading
+                # attribute (by construction), so this prices the same
+                # applicable pairs the per-pair loop would.
+                return np.asarray(
+                    optimizer.index_costs(
+                        [queries[position] for position in positions],
+                        index,
+                    ),
+                    dtype=np.float64,
+                )
+
+            return price_batched
 
         def price() -> np.ndarray:
             return np.array(

@@ -47,10 +47,20 @@ class _CostCache:
         self.weights = np.array(
             [query.frequency for query in self._queries], dtype=np.float64
         )
-        self.sequential = np.array(
-            [optimizer.sequential_cost(query) for query in self._queries],
-            dtype=np.float64,
-        )
+        self._batched = getattr(optimizer, "supports_batch", False)
+        if self._batched:
+            self.sequential = np.asarray(
+                optimizer.sequential_costs(self._queries),
+                dtype=np.float64,
+            )
+        else:
+            self.sequential = np.array(
+                [
+                    optimizer.sequential_cost(query)
+                    for query in self._queries
+                ],
+                dtype=np.float64,
+            )
         self._columns: dict[Index, np.ndarray] = {}
         self._maintenance: dict[Index, float] = {}
 
@@ -59,15 +69,31 @@ class _CostCache:
         cached = self._columns.get(index)
         if cached is not None:
             return cached
-        column = np.array(
-            [
-                self._optimizer.index_cost(query, index)
-                if index.is_applicable_to(query)
-                else self.sequential[position]
+        if self._batched:
+            # One backend batch for the applicable rows; inapplicable
+            # rows reuse the cached sequential vector, exactly like the
+            # per-pair loop below (no facade traffic for them).
+            positions = [
+                position
                 for position, query in enumerate(self._queries)
-            ],
-            dtype=np.float64,
-        )
+                if index.is_applicable_to(query)
+            ]
+            column = self.sequential.copy()
+            if positions:
+                column[positions] = self._optimizer.index_costs(
+                    [self._queries[position] for position in positions],
+                    index,
+                )
+        else:
+            column = np.array(
+                [
+                    self._optimizer.index_cost(query, index)
+                    if index.is_applicable_to(query)
+                    else self.sequential[position]
+                    for position, query in enumerate(self._queries)
+                ],
+                dtype=np.float64,
+            )
         self._columns[index] = column
         return column
 

@@ -51,6 +51,11 @@ class CostModel:
 
     def __init__(self, schema: Schema) -> None:
         self._schema = schema
+        # Residual-scan orderings are pure functions of the attribute
+        # set (selectivities are fixed per schema), and the selection
+        # algorithms price the same query against many candidates —
+        # memoizing by frozenset skips the per-call re-sort.
+        self._order_cache: dict[frozenset, tuple[int, ...]] = {}
 
     @property
     def schema(self) -> Schema:
@@ -60,6 +65,30 @@ class CostModel:
     # ------------------------------------------------------------------
     # Building blocks
     # ------------------------------------------------------------------
+
+    def _ordered_by_selectivity(
+        self, attribute_ids: Iterable[int]
+    ) -> tuple[int, ...]:
+        """Attributes sorted ascending by ``(selectivity, id)``.
+
+        The key is a total order, so the result is independent of the
+        input ordering and safe to memoize by attribute *set*.
+        """
+        key = frozenset(attribute_ids)
+        ordered = self._order_cache.get(key)
+        if ordered is None:
+            schema = self._schema
+            ordered = tuple(
+                sorted(
+                    key,
+                    key=lambda attribute_id: (
+                        schema.selectivity(attribute_id),
+                        attribute_id,
+                    ),
+                )
+            )
+            self._order_cache[key] = ordered
+        return ordered
 
     def _residual_scan_cost(
         self,
@@ -73,13 +102,7 @@ class CostModel:
         qualifying before the scan starts (1.0 when no index was used).
         """
         schema = self._schema
-        ordered = sorted(
-            remaining_attribute_ids,
-            key=lambda attribute_id: (
-                schema.selectivity(attribute_id),
-                attribute_id,
-            ),
-        )
+        ordered = self._ordered_by_selectivity(remaining_attribute_ids)
         cost = 0.0
         fraction = qualifying_fraction
         for attribute_id in ordered:

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
 
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
@@ -45,7 +47,15 @@ class CostSource(Protocol):
     """
 
     def query_cost(self, query: Query, index: Index | None) -> float:
-        """``f_j(k)``, or ``f_j(0)`` when ``index`` is ``None``."""
+        """``f_j(k)``, or ``f_j(0)`` when ``index`` is ``None``.
+
+        Backends may additionally expose batch twins —
+        ``query_costs(queries, index)``, ``sequential_costs(queries)``
+        and ``maintenance_costs(queries, index)``, each returning one
+        float per query — which the facade feature-detects and routes
+        whole cost columns through (the compiled kernel in
+        :mod:`repro.cost.kernel` is the batch-capable backend).
+        """
         ...  # pragma: no cover - protocol
 
 
@@ -128,10 +138,14 @@ class WhatIfOptimizer:
 
     def __init__(self, cost_source: CostSource) -> None:
         self._source = cost_source
-        # Cache keys are content-based (table, attribute set, kind), not
-        # query-id-based: costs do not depend on frequencies or ids, so
-        # one facade can serve many workloads (drift epochs, compressed
-        # variants) without collisions and with full cache reuse.
+        # Cache keys are content-based — (query.cache_key, identity of
+        # the index) — not query-id-based: costs do not depend on
+        # frequencies or ids, so one facade can serve many workloads
+        # (drift epochs, compressed variants) without collisions and
+        # with full cache reuse.  Indexes are identified by their
+        # attribute tuple alone (global attribute ids are owned by
+        # exactly one table, so the tuple implies the table), which
+        # hashes at C speed in the per-pair hot loops.
         self._cache: dict[tuple, float] = {}
         self._maintenance_cache: dict[tuple, float] = {}
         self._statistics = WhatIfStatistics()
@@ -152,6 +166,28 @@ class WhatIfOptimizer:
     def calls(self) -> int:
         """Number of backend (non-cached) what-if calls so far."""
         return self._statistics.calls
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the backend can price whole cost columns per call.
+
+        True when the source exposes ``query_costs`` (the compiled
+        kernel, or a resilient wrapper around it).  Callers use this to
+        decide whether pre-warming whole columns is cheap; the batch
+        methods below work either way (they fall back to per-pair
+        lookups on scalar backends).
+        """
+        return getattr(self._source, "query_costs", None) is not None
+
+    @property
+    def supports_pair_batch(self) -> bool:
+        """Whether the backend prices arbitrary pair lists per call.
+
+        True when the source exposes ``pair_costs`` (the compiled
+        kernel's whole-table entry point, or a resilient wrapper around
+        it).  :meth:`pair_costs` works either way — it degrades to
+        per-pair lookups on backends without it."""
+        return getattr(self._source, "pair_costs", None) is not None
 
     @property
     def parallel_safe(self) -> bool:
@@ -203,6 +239,120 @@ class WhatIfOptimizer:
             return self.sequential_cost(query)
         return self._lookup(query, index)
 
+    def sequential_costs(self, queries: Sequence[Query]) -> np.ndarray:
+        """``f_j(0)`` for a whole column of queries.
+
+        One backend batch call prices every uncached query; accounting
+        matches the per-pair path exactly (first uncached occurrence of
+        a content key counts as a call, duplicates and cached entries as
+        cache hits).
+        """
+        return self._lookup_batch(tuple(queries), None)
+
+    def index_costs(
+        self, queries: Sequence[Query], index: Index
+    ) -> np.ndarray:
+        """``f_j(k)`` for a whole column of queries under one index.
+
+        Semantics per query are identical to :meth:`index_cost`:
+        inapplicable pairs price at the sequential baseline (served from
+        the sequential column, never a backend index call).
+        """
+        queries = tuple(queries)
+        applicable_positions: list[int] = []
+        applicable: list[Query] = []
+        other_positions: list[int] = []
+        other: list[Query] = []
+        for position, query in enumerate(queries):
+            if index.is_applicable_to(query):
+                applicable_positions.append(position)
+                applicable.append(query)
+            else:
+                other_positions.append(position)
+                other.append(query)
+        results = np.empty(len(queries), dtype=np.float64)
+        if applicable:
+            results[applicable_positions] = self._lookup_batch(
+                tuple(applicable), index
+            )
+        if other:
+            results[other_positions] = self._lookup_batch(
+                tuple(other), None
+            )
+        return results
+
+    def pair_costs(
+        self, pairs: Sequence[tuple[Query, Index | None]]
+    ) -> np.ndarray:
+        """Cost of arbitrary ``(query, index_or_None)`` pairs at once.
+
+        The whole-table lookup: callers that need many candidate
+        columns (``cost_table``, column pre-warming) flatten them into
+        one pair list so a pair-capable backend prices everything in a
+        single sweep.  Pairs are passed through as given — callers are
+        expected to pre-filter inapplicable pairs the way
+        :meth:`index_cost` would (pair them with ``None`` instead).
+        Accounting matches the per-pair path exactly.
+        """
+        pairs = tuple(pairs)
+        backend_pairs = getattr(self._source, "pair_costs", None)
+        if backend_pairs is None:
+            return np.array(
+                [self._lookup(query, index) for query, index in pairs],
+                dtype=np.float64,
+            )
+        keys = [
+            (query.cache_key, None if index is None else index.attributes)
+            for query, index in pairs
+        ]
+        with self._lock:
+            cold = not self._cache
+            if not cold:
+                cache_get = self._cache.get
+                results: list[float | None] = [
+                    cache_get(key) for key in keys
+                ]
+                miss_count = results.count(None)
+                self._statistics.cache_hits += len(pairs) - miss_count
+        if cold:
+            # Cold cache (the whole-table sweep case): every key
+            # misses, so skip the cached-value scan entirely.
+            results = [None] * len(pairs)
+            miss_count = len(pairs)
+        if miss_count:
+            # Content-dedup the misses: one backend evaluation per
+            # distinct key, cache hits for the duplicates — the same
+            # totals the per-pair path would count.
+            missing: dict[tuple, tuple[Query, Index | None]] = {}
+            if cold:
+                for key, pair in zip(keys, pairs):
+                    if key not in missing:
+                        missing[key] = pair
+            else:
+                for position, value in enumerate(results):
+                    if value is None:
+                        key = keys[position]
+                        if key not in missing:
+                            missing[key] = pairs[position]
+            costs = backend_pairs(tuple(missing.values())).tolist()
+            with self._lock:
+                cache_setdefault = self._cache.setdefault
+                costmap = {
+                    key: cache_setdefault(key, cost)
+                    for key, cost in zip(missing, costs)
+                }
+                statistics = self._statistics
+                statistics.calls += len(missing)
+                statistics.cache_hits += miss_count - len(missing)
+            if cold:
+                costmap_get = costmap.__getitem__
+                results = [costmap_get(key) for key in keys]
+            else:
+                for position, value in enumerate(results):
+                    if value is None:
+                        results[position] = costmap[keys[position]]
+        return np.array(results, dtype=np.float64)
+
     def maintenance_cost(self, query: Query, index: Index) -> float:
         """Per-execution maintenance of ``index`` for a write query.
 
@@ -212,12 +362,7 @@ class WhatIfOptimizer:
         """
         if query.is_select:
             return 0.0
-        key = (
-            query.table_name,
-            query.attributes,
-            query.kind,
-            index,
-        )
+        key = (query.cache_key, index.attributes)
         with self._lock:
             cached = self._maintenance_cache.get(key)
         if cached is not None:
@@ -285,10 +430,8 @@ class WhatIfOptimizer:
             )
         )
         key = (
-            query.table_name,
-            query.attributes,
-            query.kind,
-            applicable,
+            query.cache_key,
+            tuple(index.attributes for index in applicable),
         )
         with self._lock:
             cached = self._cache.get(key)
@@ -333,6 +476,55 @@ class WhatIfOptimizer:
         """
         table: dict[tuple[int, Index | None], float] = {}
         candidate_list = tuple(candidates)
+        if self.supports_pair_batch:
+            # Whole-table pair pricing: the sequential column plus
+            # every applicable (query, candidate) pair flatten into one
+            # backend sweep.  Same pair set, same cache keys, same
+            # call/hit totals as the loops below.
+            queries = tuple(workload)
+            pairs: list[tuple[Query, Index | None]] = [
+                (query, None) for query in queries
+            ]
+            # Inverted applicability map: attribute ids are owned by
+            # exactly one table, so "leading attribute in the query" is
+            # precisely Index.is_applicable_to — without the candidate
+            # × query scan.
+            by_leading: dict[int, list[Query]] = {}
+            for query in queries:
+                for attribute_id in query.attributes:
+                    by_leading.setdefault(attribute_id, []).append(query)
+            for index in candidate_list:
+                column = by_leading.get(index.leading_attribute)
+                if column:
+                    pairs += [(query, index) for query in column]
+            return {
+                (query.query_id, index): cost
+                for (query, index), cost in zip(
+                    pairs, self.pair_costs(pairs).tolist()
+                )
+            }
+        if self.supports_batch:
+            # Candidate-major batch pricing: one backend call per
+            # candidate column.  Same pair set, same cache keys, same
+            # call/hit totals as the per-pair loop below — just batched.
+            queries = tuple(workload)
+            for query, cost in zip(
+                queries, self._lookup_batch(queries, None)
+            ):
+                table[(query.query_id, None)] = float(cost)
+            for index in candidate_list:
+                applicable = tuple(
+                    query
+                    for query in queries
+                    if index.is_applicable_to(query)
+                )
+                if not applicable:
+                    continue
+                for query, cost in zip(
+                    applicable, self._lookup_batch(applicable, index)
+                ):
+                    table[(query.query_id, index)] = float(cost)
+            return table
         for query in workload:
             table[(query.query_id, None)] = self.sequential_cost(query)
             for index in candidate_list:
@@ -347,7 +539,10 @@ class WhatIfOptimizer:
     # ------------------------------------------------------------------
 
     def _lookup(self, query: Query, index: Index | None) -> float:
-        key = (query.table_name, query.attributes, query.kind, index)
+        key = (
+            query.cache_key,
+            None if index is None else index.attributes,
+        )
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
@@ -361,3 +556,50 @@ class WhatIfOptimizer:
         with self._lock:
             self._statistics.calls += 1
             return self._cache.setdefault(key, cost)
+
+    def _lookup_batch(
+        self, queries: tuple[Query, ...], index: Index | None
+    ) -> np.ndarray:
+        """Cached column lookup with per-pair-identical accounting.
+
+        Cached keys count as cache hits; content-duplicate uncached
+        queries trigger one backend evaluation (a call) and hits for
+        the duplicates — exactly what the per-pair path would count.
+        Falls back to per-pair lookups on batch-less backends.
+        """
+        backend_batch = getattr(self._source, "query_costs", None)
+        if backend_batch is None:
+            return np.array(
+                [self._lookup(query, index) for query in queries],
+                dtype=np.float64,
+            )
+        results: list[float | None] = [None] * len(queries)
+        missing: dict[tuple, tuple[Query, list[int]]] = {}
+        index_key = None if index is None else index.attributes
+        with self._lock:
+            for position, query in enumerate(queries):
+                key = (query.cache_key, index_key)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._statistics.cache_hits += 1
+                    results[position] = cached
+                    continue
+                entry = missing.get(key)
+                if entry is None:
+                    missing[key] = (query, [position])
+                else:
+                    entry[1].append(position)
+        if missing:
+            # The batch backend call runs unlocked, like _lookup's.
+            subset = tuple(entry[0] for entry in missing.values())
+            costs = backend_batch(subset, index)
+            with self._lock:
+                for (key, (_, positions)), cost in zip(
+                    missing.items(), costs
+                ):
+                    self._statistics.calls += 1
+                    self._statistics.cache_hits += len(positions) - 1
+                    stored = self._cache.setdefault(key, float(cost))
+                    for position in positions:
+                        results[position] = stored
+        return np.array(results, dtype=np.float64)

@@ -15,6 +15,7 @@ from repro.cophy.solver import CoPhyAlgorithm
 from repro.core.extend import ExtendAlgorithm
 from repro.core.frontier import Frontier, FrontierPoint
 from repro.core.steps import SelectionResult
+from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
 from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
 from repro.exceptions import ExperimentError, SolverTimeoutError
@@ -61,10 +62,25 @@ class BudgetSweepSeries:
         return sum(self.runtimes)
 
 
-def analytic_optimizer(workload: Workload) -> WhatIfOptimizer:
-    """A what-if facade over the Appendix B cost model."""
-    return WhatIfOptimizer(
-        AnalyticalCostSource(CostModel(workload.schema))
+def analytic_optimizer(
+    workload: Workload, *, kernel: str = "vectorized"
+) -> WhatIfOptimizer:
+    """A what-if facade over the Appendix B cost model.
+
+    ``kernel`` selects the backend flavour: ``"vectorized"`` (default)
+    uses the compiled batch kernel of :mod:`repro.cost.kernel`,
+    ``"scalar"`` the pure-Python :class:`CostModel`.  Both agree within
+    1e-9 relative tolerance on every pair; the experiment sweeps (and
+    the golden step traces) are invariant to the choice.
+    """
+    if kernel == "vectorized":
+        return WhatIfOptimizer(VectorizedCostSource(workload.schema))
+    if kernel == "scalar":
+        return WhatIfOptimizer(
+            AnalyticalCostSource(CostModel(workload.schema))
+        )
+    raise ExperimentError(
+        f"unknown cost kernel {kernel!r}; pick 'scalar' or 'vectorized'"
     )
 
 

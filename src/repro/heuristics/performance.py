@@ -70,7 +70,11 @@ class PerformanceHeuristic(RankingHeuristic):
         self, workload: Workload, candidates: Sequence[Index]
     ) -> list[Index]:
         pool = list(candidates)
-        if self.parallelism > 1:
+        if self.parallelism > 1 or getattr(
+            self.optimizer, "supports_batch", False
+        ):
+            # Warm the exact applicable pairs the ranking loop prices —
+            # threaded when asked, batched when the backend can.
             price_columns(
                 self.optimizer,
                 workload.queries,
@@ -104,7 +108,9 @@ class BenefitPerSizeHeuristic(RankingHeuristic):
         self, workload: Workload, candidates: Sequence[Index]
     ) -> list[Index]:
         schema = workload.schema
-        if self.parallelism > 1:
+        if self.parallelism > 1 or getattr(
+            self.optimizer, "supports_batch", False
+        ):
             price_columns(
                 self.optimizer,
                 workload.queries,

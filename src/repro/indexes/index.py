@@ -42,6 +42,17 @@ class Index:
                 f"duplicate attributes in index {self.attributes}"
             )
 
+    def __hash__(self) -> int:
+        # Same field tuple the generated dataclass hash would use, but
+        # cached: cost caches key on the index, so a cost-table sweep
+        # hashes each candidate thousands of times.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.table_name, self.attributes))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

@@ -91,6 +91,12 @@ class Telemetry:
         invalidations, priced/pruned candidates, parallelism."""
         statistics.publish(self.metrics, prefix=prefix)
 
+    def record_kernel(self, statistics, prefix: str = "kernel") -> None:
+        """Bridge a :class:`~repro.cost.kernel.KernelStatistics` into
+        the registry as gauges — compiled packs/queries, compile time,
+        batch calls and sizes, scalar fallthrough calls."""
+        statistics.publish(self.metrics, prefix=prefix)
+
     def snapshot(self) -> TelemetrySnapshot:
         """Immutable view of metrics, finished spans, and events."""
         return TelemetrySnapshot(
@@ -149,6 +155,9 @@ class _DisabledTelemetry:
     def record_evaluation(
         self, statistics, prefix: str = "evaluation"
     ) -> None:
+        pass
+
+    def record_kernel(self, statistics, prefix: str = "kernel") -> None:
         pass
 
     def snapshot(self) -> TelemetrySnapshot:

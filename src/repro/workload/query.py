@@ -29,6 +29,11 @@ __all__ = ["Query", "QueryKind", "Workload"]
 class QueryKind(enum.Enum):
     """How a query interacts with indexes."""
 
+    # Members are singletons and compare by identity, so the identity
+    # hash is consistent with equality — and C-speed.  Cost-model cache
+    # keys embed the kind, making its hash a hot operation.
+    __hash__ = object.__hash__
+
     SELECT = "select"
     """Reads rows; indexes can only help."""
 
@@ -78,6 +83,32 @@ class Query:
                 f"query {self.query_id} needs a positive frequency, got "
                 f"{self.frequency}"
             )
+        # Content identity for cost caching: costs depend on the table,
+        # the attribute set, and the kind — never on query_id or
+        # frequency.  Precomputed once so the what-if facade's per-pair
+        # key construction is a plain attribute read.
+        object.__setattr__(
+            self,
+            "cache_key",
+            (self.table_name, self.attributes, self.kind),
+        )
+
+    def __hash__(self) -> int:
+        # Same field tuple the generated dataclass hash would use, but
+        # cached: queries are hashed once per (query, index) pair in the
+        # batched pricing paths, where recomputation dominates.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((
+                self.query_id,
+                self.table_name,
+                self.attributes,
+                self.frequency,
+                self.kind,
+            ))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     @property
     def attribute_count(self) -> int:

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from repro.advisor import IndexAdvisor
 from repro.core.extend import ExtendAlgorithm
 from repro.core.steps import STATUS_COMPLETED, STATUS_DEGRADED
@@ -109,6 +111,62 @@ class TestFaultTransparency:
             assert (
                 resilient.result.total_cost == baseline.result.total_cost
             ), algorithm
+
+
+class TestFaultInjectionAcrossKernels:
+    def test_faults_fire_identically_under_both_kernels(
+        self, small_workload
+    ):
+        """The injector sits in front of either backend flavour: a
+        scripted fail-3-then-succeed plan injects exactly three faults
+        whether the backend prices per pair (scalar) or per column
+        (vectorized batch entry points), and the retry layer absorbs
+        them into identical recommendations."""
+        from repro.cost.kernel import VectorizedCostSource
+        from repro.resilience import fail_n_then_succeed
+
+        recommendations = {}
+        injectors = {}
+        for kernel, backend in (
+            (
+                "scalar",
+                AnalyticalCostSource(CostModel(small_workload.schema)),
+            ),
+            ("vectorized", VectorizedCostSource(small_workload.schema)),
+        ):
+            flaky = FaultInjectingCostSource(
+                backend, script=fail_n_then_succeed(3)
+            )
+            injectors[kernel] = flaky
+            recommendations[kernel] = IndexAdvisor(
+                small_workload.schema,
+                cost_source=flaky,
+                resilience=RETRY_HARD,
+            ).recommend(small_workload, budget_share=0.4)
+
+        for kernel, flaky in injectors.items():
+            assert flaky.statistics.injected_failures == 3, kernel
+            assert (
+                recommendations[kernel].result.status == STATUS_COMPLETED
+            ), kernel
+        # The injector mirrors the backend's batch capability, so the
+        # vectorized run actually flowed through the batch entry points
+        # rather than silently degrading to per-pair calls.
+        assert getattr(injectors["scalar"], "query_costs", None) is None
+        assert (
+            getattr(injectors["vectorized"], "query_costs", None)
+            is not None
+        )
+        assert (
+            injectors["vectorized"].statistics.calls
+            < injectors["scalar"].statistics.calls
+        )
+        scalar = recommendations["scalar"].result
+        vectorized = recommendations["vectorized"].result
+        assert scalar.configuration == vectorized.configuration
+        assert vectorized.total_cost == pytest.approx(
+            scalar.total_cost, rel=1e-9
+        )
 
 
 class TestBreakerOpenFallback:
