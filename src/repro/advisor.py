@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.cophy.solver import CoPhyAlgorithm
-from repro.core.evaluation import EvaluationConfig
+from repro.core.evaluation import EvaluationConfig, WarmBenefitStore
 from repro.core.extend import ExtendAlgorithm
 from repro.core.localsearch import swap_local_search
 from repro.core.steps import STATUS_DEGRADED, SelectionResult
@@ -66,9 +66,17 @@ from repro.workload.query import Query, Workload
 from repro.workload.schema import Schema
 from repro.workload.sql import workload_from_sql
 
-__all__ = ["IndexAdvisor", "Recommendation"]
+__all__ = [
+    "ALGORITHMS",
+    "COST_KERNELS",
+    "IndexAdvisor",
+    "KernelStacks",
+    "Recommendation",
+    "coerce_budget",
+    "run_selection",
+]
 
-_ALGORITHMS = (
+ALGORITHMS = (
     "extend",
     "extend+swap",
     "cophy",
@@ -80,7 +88,231 @@ _ALGORITHMS = (
     "h5",
 )
 
-_COST_KERNELS = ("scalar", "vectorized")
+COST_KERNELS = ("scalar", "vectorized")
+
+# Backwards-compatible aliases (pre-service private names).
+_ALGORITHMS = ALGORITHMS
+_COST_KERNELS = COST_KERNELS
+
+
+def coerce_budget(
+    schema: Schema,
+    budget_share: float | None,
+    budget_bytes: float | None,
+) -> float:
+    """Resolve the exactly-one-of budget spec into absolute bytes."""
+    if (budget_share is None) == (budget_bytes is None):
+        raise BudgetError(
+            "specify exactly one of budget_share / budget_bytes"
+        )
+    if budget_bytes is not None:
+        if budget_bytes < 0:
+            raise BudgetError(
+                f"budget_bytes must be >= 0, got {budget_bytes}"
+            )
+        return float(budget_bytes)
+    return relative_budget(schema, budget_share)
+
+
+class KernelStacks:
+    """Per-cost-kernel (resilient source, what-if facade) stacks.
+
+    One lazily built stack per kernel flavour over a fixed schema:
+    per-kernel caches must never mix (a cached vectorized cost
+    answering a scalar-kernel run would blur the 1e-9 equivalence
+    contract into the differential tests).  Shared by
+    :class:`IndexAdvisor` (one caller, many ``recommend`` calls) and
+    ``repro.service.AdvisorService`` (many concurrent requests, many
+    registered workloads on one schema).
+
+    Parameters
+    ----------
+    schema:
+        The schema all stacks price against.
+    cost_source:
+        The primary what-if backend; ``None`` means the per-kernel
+        analytic source itself (infallible, no fallbacks needed).
+    policy:
+        Default retry/breaker policy for the resilient wrappers.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        cost_source: CostSource | None = None,
+        policy: ResiliencePolicy | None = None,
+    ) -> None:
+        self._schema = schema
+        self._cost_source = cost_source
+        self._policy = policy
+        self._analytic: dict[str, CostSource] = {}
+        self._stacks: dict[
+            str, tuple[ResilientCostSource, WhatIfOptimizer]
+        ] = {}
+
+    @property
+    def policy(self) -> ResiliencePolicy | None:
+        """The current default retry/breaker policy."""
+        return self._policy
+
+    def analytic(self, kernel: str) -> CostSource:
+        """The (infallible) analytic source of one kernel flavour."""
+        source = self._analytic.get(kernel)
+        if source is None:
+            if kernel == "vectorized":
+                source = VectorizedCostSource(self._schema)
+            else:
+                source = AnalyticalCostSource(CostModel(self._schema))
+            self._analytic[kernel] = source
+        return source
+
+    def stack(
+        self, kernel: str
+    ) -> tuple[ResilientCostSource, WhatIfOptimizer]:
+        """The resilient source and caching facade of one flavour."""
+        if kernel not in COST_KERNELS:
+            raise ExperimentError(
+                f"unknown cost kernel {kernel!r}; pick one of "
+                f"{', '.join(COST_KERNELS)}"
+            )
+        stack = self._stacks.get(kernel)
+        if stack is None:
+            analytical = self.analytic(kernel)
+            primary = (
+                self._cost_source
+                if self._cost_source is not None
+                else analytical
+            )
+            fallbacks = () if primary is analytical else (analytical,)
+            resilient = ResilientCostSource(
+                primary, policy=self._policy, fallbacks=fallbacks
+            )
+            stack = (resilient, WhatIfOptimizer(resilient))
+            self._stacks[kernel] = stack
+        return stack
+
+    def built_kernels(self) -> tuple[str, ...]:
+        """Kernels whose stacks (and therefore caches) exist already."""
+        return tuple(self._stacks)
+
+    def set_policy(self, policy: ResiliencePolicy) -> None:
+        """Swap the policy on current and future stacks (breaker state
+        survives the swap)."""
+        self._policy = policy
+        for resilient, _ in self._stacks.values():
+            resilient.policy = policy
+
+    def vectorized_statistics(self):
+        """``KernelStatistics`` of the compiled kernel, if built yet."""
+        source = self._analytic.get("vectorized")
+        return None if source is None else source.statistics
+
+
+def run_selection(
+    workload: Workload,
+    budget: float,
+    *,
+    algorithm: str,
+    optimizer: WhatIfOptimizer,
+    telemetry: Telemetry = NULL_TELEMETRY,
+    candidate_width: int = 4,
+    deadline: Deadline | None = None,
+    solver_time_limit: float = 120.0,
+    evaluation: EvaluationConfig | None = None,
+    warm_store: WarmBenefitStore | None = None,
+) -> SelectionResult:
+    """Dispatch one selection run to the named algorithm.
+
+    The shared engine behind :meth:`IndexAdvisor.recommend` and the
+    service's request execution: Extend (optionally with the swap
+    refinement and a cross-run ``warm_store``), CoPhy with the
+    degrade-to-Extend fallback, and the H1–H5 heuristics, all under one
+    ``deadline`` against one what-if facade.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; pick one of "
+            f"{', '.join(ALGORITHMS)}"
+        )
+    deadline = deadline or Deadline.none()
+    evaluation = evaluation or EvaluationConfig()
+    parallelism = evaluation.effective_parallelism(optimizer)
+    if algorithm in ("extend", "extend+swap"):
+        result = ExtendAlgorithm(
+            optimizer,
+            telemetry=telemetry,
+            evaluation=evaluation,
+            warm_store=warm_store,
+        ).select(workload, budget, deadline=deadline)
+        if algorithm == "extend+swap":
+            candidates = syntactically_relevant_candidates(
+                workload, candidate_width
+            )
+            result = swap_local_search(
+                workload,
+                optimizer,
+                result,
+                budget,
+                candidates,
+                telemetry=telemetry,
+                deadline=deadline,
+                parallelism=parallelism,
+            )
+        return result
+
+    candidates = syntactically_relevant_candidates(
+        workload, candidate_width
+    )
+    if algorithm == "cophy":
+        try:
+            return CoPhyAlgorithm(
+                optimizer,
+                time_limit=solver_time_limit,
+                telemetry=telemetry,
+            ).select(workload, budget, candidates, deadline=deadline)
+        except SolverError:
+            # DNF (Table I) or solver failure: degrade to Extend —
+            # a recommendation under the same budget and deadline
+            # beats no recommendation at all.
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "advisor.solver_fallbacks"
+                ).increment()
+            fallback = ExtendAlgorithm(
+                optimizer,
+                telemetry=telemetry,
+                evaluation=evaluation,
+                warm_store=warm_store,
+            ).select(workload, budget, deadline=deadline)
+            return dataclasses.replace(
+                fallback, status=STATUS_DEGRADED
+            )
+    heuristics = {
+        "h1": FrequencyHeuristic,
+        "h2": SelectivityHeuristic,
+        "h3": SelectivityFrequencyHeuristic,
+        "h5": BenefitPerSizeHeuristic,
+    }
+    if algorithm in heuristics:
+        return heuristics[algorithm](
+            optimizer,
+            telemetry=telemetry,
+            parallelism=parallelism,
+        ).select(workload, budget, candidates, deadline=deadline)
+    if algorithm == "h4":
+        return PerformanceHeuristic(
+            optimizer,
+            telemetry=telemetry,
+            parallelism=parallelism,
+        ).select(workload, budget, candidates, deadline=deadline)
+    assert algorithm == "h4+skyline"
+    return PerformanceHeuristic(
+        optimizer,
+        use_skyline=True,
+        telemetry=telemetry,
+        parallelism=parallelism,
+    ).select(workload, budget, candidates, deadline=deadline)
 
 
 @dataclass(frozen=True)
@@ -156,18 +388,13 @@ class IndexAdvisor:
                 f"{', '.join(_COST_KERNELS)}"
             )
         self._schema = schema
-        self._cost_source = cost_source
-        self._policy = resilience
         self._default_kernel = cost_kernel
-        # One (resilient source, facade) stack per kernel flavour, built
-        # lazily: per-kernel caches must never mix (a cached vectorized
-        # cost answering a scalar-kernel run would blur the 1e-9
-        # equivalence contract into the differential tests).
-        self._analytic_sources: dict[str, CostSource] = {}
-        self._stacks: dict[
-            str, tuple[ResilientCostSource, WhatIfOptimizer]
-        ] = {}
-        self._resilient, self._optimizer = self._stack(cost_kernel)
+        self._kernel_stacks = KernelStacks(
+            schema, cost_source=cost_source, policy=resilience
+        )
+        self._resilient, self._optimizer = self._kernel_stacks.stack(
+            cost_kernel
+        )
         self._telemetry = telemetry
 
     @property
@@ -189,39 +416,6 @@ class IndexAdvisor:
     def resilience(self) -> ResilientCostSource:
         """The resilient cost backend (breaker, retry counters)."""
         return self._resilient
-
-    # ------------------------------------------------------------------
-    # Cost-kernel stacks
-    # ------------------------------------------------------------------
-
-    def _analytic_source(self, kernel: str) -> CostSource:
-        source = self._analytic_sources.get(kernel)
-        if source is None:
-            if kernel == "vectorized":
-                source = VectorizedCostSource(self._schema)
-            else:
-                source = AnalyticalCostSource(CostModel(self._schema))
-            self._analytic_sources[kernel] = source
-        return source
-
-    def _stack(
-        self, kernel: str
-    ) -> tuple[ResilientCostSource, WhatIfOptimizer]:
-        stack = self._stacks.get(kernel)
-        if stack is None:
-            analytical = self._analytic_source(kernel)
-            primary = (
-                self._cost_source
-                if self._cost_source is not None
-                else analytical
-            )
-            fallbacks = () if primary is analytical else (analytical,)
-            resilient = ResilientCostSource(
-                primary, policy=self._policy, fallbacks=fallbacks
-            )
-            stack = (resilient, WhatIfOptimizer(resilient))
-            self._stacks[kernel] = stack
-        return stack
 
     # ------------------------------------------------------------------
     # Input coercion
@@ -246,17 +440,7 @@ class IndexAdvisor:
     def _coerce_budget(
         self, budget_share: float | None, budget_bytes: float | None
     ) -> float:
-        if (budget_share is None) == (budget_bytes is None):
-            raise BudgetError(
-                "specify exactly one of budget_share / budget_bytes"
-            )
-        if budget_bytes is not None:
-            if budget_bytes < 0:
-                raise BudgetError(
-                    f"budget_bytes must be >= 0, got {budget_bytes}"
-                )
-            return float(budget_bytes)
-        return relative_budget(self._schema, budget_share)
+        return coerce_budget(self._schema, budget_share, budget_bytes)
 
     # ------------------------------------------------------------------
     # Recommendation
@@ -343,11 +527,9 @@ class IndexAdvisor:
             )
         resolved = self._coerce_workload(workload)
         budget = self._coerce_budget(budget_share, budget_bytes)
-        resilient, optimizer = self._stack(kernel)
+        resilient, optimizer = self._kernel_stacks.stack(kernel)
         if resilience is not None:
-            self._policy = resilience
-            for existing, _ in self._stacks.values():
-                existing.policy = resilience
+            self._kernel_stacks.set_policy(resilience)
         deadline = Deadline(deadline_s)
         telemetry = self._telemetry
 
@@ -358,15 +540,16 @@ class IndexAdvisor:
         with telemetry.tracer.span(
             "advisor.recommend", algorithm=algorithm
         ):
-            result = self._run(
+            result = run_selection(
                 resolved,
                 budget,
-                algorithm,
-                candidate_width,
-                deadline,
-                solver_time_limit,
-                evaluation,
-                optimizer,
+                algorithm=algorithm,
+                optimizer=optimizer,
+                telemetry=telemetry,
+                candidate_width=candidate_width,
+                deadline=deadline,
+                solver_time_limit=solver_time_limit,
+                evaluation=evaluation,
             )
             run_statistics = optimizer.statistics.since(
                 stats_before
@@ -382,99 +565,14 @@ class IndexAdvisor:
         if telemetry.enabled:
             telemetry.record_whatif(optimizer.statistics)
             telemetry.record_resilience(resilient.statistics)
-            kernel_source = self._analytic_sources.get("vectorized")
-            if kernel_source is not None:
-                telemetry.record_kernel(kernel_source.statistics)
+            kernel_statistics = (
+                self._kernel_stacks.vectorized_statistics()
+            )
+            if kernel_statistics is not None:
+                telemetry.record_kernel(kernel_statistics)
         return Recommendation(
             workload=resolved,
             result=result,
             report=report,
             telemetry=telemetry.snapshot(),
         )
-
-    def _run(
-        self,
-        workload: Workload,
-        budget: float,
-        algorithm: str,
-        candidate_width: int,
-        deadline: Deadline,
-        solver_time_limit: float,
-        evaluation: EvaluationConfig,
-        optimizer: WhatIfOptimizer,
-    ) -> SelectionResult:
-        telemetry = self._telemetry
-        parallelism = evaluation.effective_parallelism(optimizer)
-        if algorithm in ("extend", "extend+swap"):
-            result = ExtendAlgorithm(
-                optimizer,
-                telemetry=telemetry,
-                evaluation=evaluation,
-            ).select(workload, budget, deadline=deadline)
-            if algorithm == "extend+swap":
-                candidates = syntactically_relevant_candidates(
-                    workload, candidate_width
-                )
-                result = swap_local_search(
-                    workload,
-                    optimizer,
-                    result,
-                    budget,
-                    candidates,
-                    telemetry=telemetry,
-                    deadline=deadline,
-                    parallelism=parallelism,
-                )
-            return result
-
-        candidates = syntactically_relevant_candidates(
-            workload, candidate_width
-        )
-        if algorithm == "cophy":
-            try:
-                return CoPhyAlgorithm(
-                    optimizer,
-                    time_limit=solver_time_limit,
-                    telemetry=telemetry,
-                ).select(workload, budget, candidates, deadline=deadline)
-            except SolverError:
-                # DNF (Table I) or solver failure: degrade to Extend —
-                # a recommendation under the same budget and deadline
-                # beats no recommendation at all.
-                if telemetry.enabled:
-                    telemetry.metrics.counter(
-                        "advisor.solver_fallbacks"
-                    ).increment()
-                fallback = ExtendAlgorithm(
-                    optimizer,
-                    telemetry=telemetry,
-                    evaluation=evaluation,
-                ).select(workload, budget, deadline=deadline)
-                return dataclasses.replace(
-                    fallback, status=STATUS_DEGRADED
-                )
-        heuristics = {
-            "h1": FrequencyHeuristic,
-            "h2": SelectivityHeuristic,
-            "h3": SelectivityFrequencyHeuristic,
-            "h5": BenefitPerSizeHeuristic,
-        }
-        if algorithm in heuristics:
-            return heuristics[algorithm](
-                optimizer,
-                telemetry=telemetry,
-                parallelism=parallelism,
-            ).select(workload, budget, candidates, deadline=deadline)
-        if algorithm == "h4":
-            return PerformanceHeuristic(
-                optimizer,
-                telemetry=telemetry,
-                parallelism=parallelism,
-            ).select(workload, budget, candidates, deadline=deadline)
-        assert algorithm == "h4+skyline"
-        return PerformanceHeuristic(
-            optimizer,
-            use_skyline=True,
-            telemetry=telemetry,
-            parallelism=parallelism,
-        ).select(workload, budget, candidates, deadline=deadline)

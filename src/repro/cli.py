@@ -27,6 +27,17 @@ Two subcommands:
       python -m repro experiment fig5 -- --row-cap 20000
 
   (arguments after ``--`` are forwarded to the experiment's own CLI).
+
+* ``serve`` — run the advisor as a network-free JSON-lines daemon over
+  stdin/stdout (see docs/SERVICE.md), e.g.::
+
+      python -m repro serve --workload tpcc --max-concurrency 4 \\
+          --queue-depth 8 --default-deadline 5
+
+  The built-in workload is pre-registered under its name; clients then
+  send one JSON object per line (``register``/``update``/``evict``/
+  ``recommend``/``stats``/``shutdown``).  Status chatter goes to
+  stderr — stdout carries only protocol lines.
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ from repro.resilience import (
     ResiliencePolicy,
     ResilientCostSource,
 )
+from repro.service import AdvisorService, serve_loop
 from repro.telemetry import (
     NULL_TELEMETRY,
     JsonLinesSink,
@@ -274,6 +286,57 @@ def _advise(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(arguments: argparse.Namespace) -> int:
+    workload = _build_workload(arguments)
+    schema = workload.schema
+    cost_source = None
+    if arguments.fault_rate > 0:
+        if arguments.cost_kernel == "vectorized":
+            analytical = VectorizedCostSource(schema)
+        else:
+            analytical = AnalyticalCostSource(CostModel(schema))
+        cost_source = FaultInjectingCostSource(
+            analytical,
+            failure_rate=arguments.fault_rate,
+            seed=arguments.fault_seed,
+        )
+    service = AdvisorService(
+        schema,
+        max_concurrency=arguments.max_concurrency,
+        queue_depth=arguments.queue_depth,
+        default_deadline_s=arguments.default_deadline,
+        cost_source=cost_source,
+        resilience=ResiliencePolicy(
+            max_retries=arguments.max_retries,
+            backoff_base_s=0.0,
+        ),
+        cost_kernel=arguments.cost_kernel,
+    )
+    service.register_workload(arguments.workload, workload)
+    # stdout is the protocol channel; humans read stderr.
+    print(
+        f"repro serve: workload {arguments.workload!r} registered "
+        f"({workload.query_count} queries), "
+        f"concurrency={arguments.max_concurrency}, "
+        f"queue_depth={arguments.queue_depth}, "
+        f"default_deadline={arguments.default_deadline}",
+        file=sys.stderr,
+    )
+    defaults = {"parallelism": arguments.parallelism}
+    handled = serve_loop(
+        service, sys.stdin, sys.stdout, request_defaults=defaults
+    )
+    statistics = service.statistics
+    print(
+        f"repro serve: exiting after {handled} messages "
+        f"({statistics.completed} completed, "
+        f"{statistics.degraded} degraded, "
+        f"{statistics.rejected} rejected)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _experiment(arguments: argparse.Namespace) -> int:
     import importlib
 
@@ -292,26 +355,63 @@ def main(argv: list[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    advise = subparsers.add_parser(
-        "advise", help="recommend an index configuration"
-    )
-    advise.add_argument(
+    # Flags shared by `advise` and `serve` live on parent parsers so
+    # the two subcommands cannot drift apart.
+    workload_flags = argparse.ArgumentParser(add_help=False)
+    workload_flags.add_argument(
         "--workload",
         choices=("appendix-c", "tpcc", "erp"),
         default="appendix-c",
+    )
+    workload_flags.add_argument("--tables", type=int, default=3)
+    workload_flags.add_argument("--attributes", type=int, default=10)
+    workload_flags.add_argument("--queries", type=int, default=15)
+    workload_flags.add_argument("--warehouses", type=int, default=10)
+    workload_flags.add_argument(
+        "--scale", type=float, default=0.1,
+        help="ERP workload scale (default 0.1)",
+    )
+    workload_flags.add_argument("--seed", type=int, default=1909)
+
+    cost_flags = argparse.ArgumentParser(add_help=False)
+    cost_flags.add_argument(
+        "--cost-kernel", choices=("scalar", "vectorized"),
+        default="vectorized",
+        help="analytic cost backend flavour: the compiled numpy batch "
+        "kernel (default) or the pure-Python scalar model; both agree "
+        "within 1e-9 relative tolerance",
+    )
+    cost_flags.add_argument(
+        "--parallelism", type=int, default=1, metavar="N",
+        help="worker threads for candidate evaluation/pricing "
+        "(default 1 = serial; recommendations are identical at any "
+        "setting, and the engine falls back to serial when the cost "
+        "backend is not thread-safe, e.g. under --fault-rate)",
+    )
+    cost_flags.add_argument(
+        "--max-retries", type=int, default=3,
+        help="retries per failing cost-backend call before falling "
+        "back (default 3)",
+    )
+    cost_flags.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="inject seeded transient cost-backend failures with "
+        "probability P (resilience test harness; default 0)",
+    )
+    cost_flags.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault-injection RNG (default 0)",
+    )
+
+    advise = subparsers.add_parser(
+        "advise", help="recommend an index configuration",
+        parents=[workload_flags, cost_flags],
     )
     advise.add_argument(
         "--algorithm", choices=_ALGORITHMS, default="extend"
     )
     advise.add_argument("--budget", type=float, default=0.3,
                         help="budget share w of Eq. 10 (default 0.3)")
-    advise.add_argument("--tables", type=int, default=3)
-    advise.add_argument("--attributes", type=int, default=10)
-    advise.add_argument("--queries", type=int, default=15)
-    advise.add_argument("--warehouses", type=int, default=10)
-    advise.add_argument("--scale", type=float, default=0.1,
-                        help="ERP workload scale (default 0.1)")
-    advise.add_argument("--seed", type=int, default=1909)
     advise.add_argument(
         "--candidates", type=int, default=0,
         help="H1-M candidate count for two-step algorithms "
@@ -322,34 +422,6 @@ def main(argv: list[str] | None = None) -> int:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget for the selection; on expiry the "
         "best-so-far configuration is returned tagged 'degraded'",
-    )
-    advise.add_argument(
-        "--cost-kernel", choices=("scalar", "vectorized"),
-        default="vectorized",
-        help="analytic cost backend flavour: the compiled numpy batch "
-        "kernel (default) or the pure-Python scalar model; both agree "
-        "within 1e-9 relative tolerance",
-    )
-    advise.add_argument(
-        "--max-retries", type=int, default=3,
-        help="retries per failing cost-backend call before falling "
-        "back (default 3)",
-    )
-    advise.add_argument(
-        "--fault-rate", type=float, default=0.0, metavar="P",
-        help="inject seeded transient cost-backend failures with "
-        "probability P (resilience test harness; default 0)",
-    )
-    advise.add_argument(
-        "--fault-seed", type=int, default=0,
-        help="seed of the fault-injection RNG (default 0)",
-    )
-    advise.add_argument(
-        "--parallelism", type=int, default=1, metavar="N",
-        help="worker threads for candidate evaluation/pricing "
-        "(default 1 = serial; recommendations are identical at any "
-        "setting, and the engine falls back to serial when the cost "
-        "backend is not thread-safe, e.g. under --fault-rate)",
     )
     advise.add_argument(
         "--naive-evaluation", action="store_true",
@@ -381,6 +453,30 @@ def main(argv: list[str] | None = None) -> int:
         help="arguments forwarded to the experiment CLI",
     )
     experiment.set_defaults(handler=_experiment)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the advisor as a JSON-lines daemon on stdin/stdout",
+        parents=[workload_flags, cost_flags],
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=2, metavar="N",
+        help="requests executing concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="requests allowed to wait beyond the executing ones "
+        "(default 8); submits past max-concurrency + queue-depth are "
+        "rejected fail-fast",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=None,
+        metavar="SECONDS",
+        help="deadline for requests that carry none, measured from "
+        "submission (default: unlimited); expired requests degrade to "
+        "tagged best-so-far results",
+    )
+    serve.set_defaults(handler=_serve)
 
     arguments = parser.parse_args(argv)
     try:

@@ -49,6 +49,7 @@ silently falls back to serial execution.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -63,6 +64,8 @@ __all__ = [
     "BenefitTable",
     "EvaluationConfig",
     "EvaluationStatistics",
+    "WarmBenefitStore",
+    "WarmSession",
     "price_columns",
 ]
 
@@ -129,12 +132,24 @@ class EvaluationStatistics:
     priced_candidates: int = 0
     pruned_candidates: int = 0
     parallelism: int = 1
+    warm_hits: int = 0
+    warm_misses: int = 0
 
     @property
     def reuse_rate(self) -> float:
         """Share of benefit evaluations served from the table."""
         total = self.evaluations + self.reused
         return self.reused / total if total else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Share of move pricings served from a cross-run warm store.
+
+        0 when the run had no :class:`WarmBenefitStore` (the one-shot
+        path) or every priced move was new to the store.
+        """
+        total = self.warm_hits + self.warm_misses
+        return self.warm_hits / total if total else 0.0
 
     def publish(self, registry, prefix: str = "evaluation") -> None:
         """Bridge the counters into a telemetry
@@ -156,6 +171,176 @@ class EvaluationStatistics:
             self.pruned_candidates
         )
         registry.gauge(f"{prefix}.parallelism").set(self.parallelism)
+        registry.gauge(f"{prefix}.warm_hits").set(self.warm_hits)
+        registry.gauge(f"{prefix}.warm_misses").set(self.warm_misses)
+        registry.gauge(f"{prefix}.warm_hit_rate").set(
+            self.warm_hit_rate
+        )
+
+
+class WarmBenefitStore:
+    """Cross-run cache of priced candidate cost vectors.
+
+    The per-run :class:`BenefitTable` dies with its construction state;
+    a resident advisor (``repro.service``) serving the *same* workload
+    repeatedly re-prices the same candidate moves on every request.
+    This store keeps the priced ``(new_index -> per-affected-query cost
+    vector)`` columns across runs: the affected positions of any
+    constructive move (new single, extension, pair seed, branch) are a
+    pure function of the created index's attribute tuple over a fixed
+    workload, so the attribute tuple is a sufficient key.
+
+    Stored vectors are exactly what the what-if facade returned —
+    backends are deterministic, so a warm run selects bit-identical
+    steps — and are frozen (non-writeable) so no later run can corrupt
+    them.  The store is thread-safe; one instance must only ever be
+    used with one workload version (the service allocates a fresh store
+    per registration update).
+    """
+
+    def __init__(self) -> None:
+        self._columns: dict[
+            tuple[int, ...], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        # Memos of pure per-workload derivations (affected-position
+        # intersections, index memory footprints).  Like the cost
+        # columns they are only valid for one workload version, which
+        # is exactly this store's lifetime.  They do not count toward
+        # warm hit/miss statistics — those track priced columns only.
+        self._positions: dict[frozenset[int], np.ndarray] = {}
+        self._memory: dict[tuple[int, ...], int] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def get(
+        self, attributes: tuple[int, ...], positions: np.ndarray
+    ) -> np.ndarray | None:
+        """The stored cost column for an index, or ``None``.
+
+        ``positions`` guards against misuse across workload versions:
+        a stored column whose affected-query positions differ from the
+        caller's is stale and treated as absent.
+        """
+        with self._lock:
+            entry = self._columns.get(attributes)
+        if entry is None:
+            return None
+        stored_positions, costs = entry
+        if not np.array_equal(stored_positions, positions):
+            return None
+        return costs
+
+    def put(
+        self,
+        attributes: tuple[int, ...],
+        positions: np.ndarray,
+        costs: np.ndarray,
+    ) -> None:
+        """Store a priced cost column (first write wins)."""
+        frozen = np.array(costs, dtype=np.float64)
+        frozen.setflags(write=False)
+        kept_positions = np.array(positions, dtype=np.intp)
+        kept_positions.setflags(write=False)
+        with self._lock:
+            self._columns.setdefault(
+                attributes, (kept_positions, frozen)
+            )
+
+    def positions_for(
+        self, required: frozenset[int]
+    ) -> np.ndarray | None:
+        """Memoized affected-query positions for an attribute set."""
+        with self._lock:
+            return self._positions.get(required)
+
+    def remember_positions(
+        self, required: frozenset[int], positions: np.ndarray
+    ) -> None:
+        frozen = np.array(positions, dtype=np.intp)
+        frozen.setflags(write=False)
+        with self._lock:
+            self._positions.setdefault(required, frozen)
+
+    def memory_for(self, attributes: tuple[int, ...]) -> int | None:
+        """Memoized memory footprint of an index's attribute tuple."""
+        with self._lock:
+            return self._memory.get(attributes)
+
+    def remember_memory(
+        self, attributes: tuple[int, ...], memory: int
+    ) -> None:
+        with self._lock:
+            self._memory.setdefault(attributes, memory)
+
+    def clear(self) -> None:
+        """Drop every stored column (workload changed)."""
+        with self._lock:
+            self._columns.clear()
+            self._positions.clear()
+            self._memory.clear()
+
+    def session(self) -> WarmSession:
+        """A per-run view with isolated hit/miss counters."""
+        return WarmSession(self)
+
+
+class WarmSession:
+    """One run's view of a :class:`WarmBenefitStore`.
+
+    Counts this run's hits and misses separately from other concurrent
+    runs sharing the store, so per-request ``evaluation.warm_*`` gauges
+    stay exact under a multi-request service.
+    """
+
+    def __init__(self, store: WarmBenefitStore) -> None:
+        self._store = store
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(
+        self, attributes: tuple[int, ...], positions: np.ndarray
+    ) -> np.ndarray | None:
+        """Stored cost column, counting the hit or miss."""
+        costs = self._store.get(attributes, positions)
+        with self._lock:
+            if costs is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return costs
+
+    def store(
+        self,
+        attributes: tuple[int, ...],
+        positions: np.ndarray,
+        costs: np.ndarray,
+    ) -> None:
+        """Write a freshly priced column back to the shared store."""
+        self._store.put(attributes, positions, costs)
+
+    # Pure-derivation memos (uncounted: the warm hit/miss gauges track
+    # priced cost columns, not bookkeeping reuse).
+
+    def positions_for(
+        self, required: frozenset[int]
+    ) -> np.ndarray | None:
+        return self._store.positions_for(required)
+
+    def remember_positions(
+        self, required: frozenset[int], positions: np.ndarray
+    ) -> None:
+        self._store.remember_positions(required, positions)
+
+    def memory_for(self, attributes: tuple[int, ...]) -> int | None:
+        return self._store.memory_for(attributes)
+
+    def remember_memory(
+        self, attributes: tuple[int, ...], memory: int
+    ) -> None:
+        self._store.remember_memory(attributes, memory)
 
 
 class CandidateMove:
@@ -296,6 +481,13 @@ class BenefitTable:
         self._parallelism = max(1, parallelism)
         self._entries: dict[CandidateMove, _Entry] = {}
         self._by_position: dict[int, list[CandidateMove]] = {}
+        # Incremental partitions of ``_entries`` (insertion-ordered sets
+        # via dict keys) so the selection loop never re-scans the whole
+        # pool: entries move between ``_unpriced`` and ``_priced``
+        # exactly once (at pricing), and ``_dirty`` tracks staleness.
+        self._dirty: dict[_Entry, None] = {}
+        self._unpriced: dict[_Entry, None] = {}
+        self._priced: dict[_Entry, None] = {}
         self.statistics = statistics or EvaluationStatistics()
         self.statistics.parallelism = self._parallelism
 
@@ -309,16 +501,26 @@ class BenefitTable:
             move.price()
             self._entries[move] = _Entry(move)
             return
-        self._entries[move] = _Entry(move)
+        entry = _Entry(move)
+        self._entries[move] = entry
+        self._dirty[entry] = None
+        if move.costs is not None:
+            self._priced[entry] = None
+        else:
+            self._unpriced[entry] = None
         for position in move.positions:
             self._by_position.setdefault(int(position), []).append(move)
 
     def retire(self, move: CandidateMove) -> None:
         """Drop a candidate move from the table."""
-        if self._entries.pop(move, None) is None:
+        entry = self._entries.pop(move, None)
+        if entry is None:
             return
         if self._naive:
             return
+        self._dirty.pop(entry, None)
+        self._unpriced.pop(entry, None)
+        self._priced.pop(entry, None)
         for position in move.positions:
             bucket = self._by_position.get(int(position))
             if bucket is not None:
@@ -358,6 +560,7 @@ class BenefitTable:
                 entry = self._entries.get(move)
                 if entry is not None and not entry.dirty:
                     entry.dirty = True
+                    self._dirty[entry] = None
                     invalidated += 1
         self.statistics.invalidations += invalidated
 
@@ -396,28 +599,42 @@ class BenefitTable:
         # candidates until every remaining bound falls strictly below
         # the ``needed``-th best exactly-priced ratio — from then on no
         # unpriced move can appear among (or tie into) the winners.
+        contenders: list[_Entry] | None = None
         while True:
             threshold = self._priced_threshold(
                 needed, max_memory_delta
             )
-            contenders = [
-                entry
-                for entry in self._entries.values()
-                if not entry.move.priced
-                and entry.value > 0.0
-                and (
-                    max_memory_delta is None
-                    or entry.move.memory_delta <= max_memory_delta
+            if contenders is None:
+                contenders = [
+                    entry
+                    for entry in self._unpriced
+                    if entry.value > 0.0
+                    and (
+                        max_memory_delta is None
+                        or entry.move.memory_delta <= max_memory_delta
+                    )
+                    and entry.value / entry.move.memory_delta
+                    >= threshold
+                ]
+                contenders.sort(
+                    key=lambda entry: -(
+                        entry.value / entry.move.memory_delta
+                    )
                 )
-                and entry.value / entry.move.memory_delta >= threshold
-            ]
+            else:
+                # Pricing only adds priced entries, so the threshold is
+                # monotonically non-decreasing within one call: the
+                # survivors of the previous (already sorted) contender
+                # list are exactly the rescan result — no second pool
+                # scan, no re-sort.
+                contenders = [
+                    entry
+                    for entry in contenders
+                    if entry.value / entry.move.memory_delta
+                    >= threshold
+                ]
             if not contenders:
                 break
-            contenders.sort(
-                key=lambda entry: -(
-                    entry.value / entry.move.memory_delta
-                )
-            )
             # Serial runs price one contender at a time — the classic
             # lazy-greedy minimum.  Parallel runs price an optimistic
             # batch per round trip: a few extra pricings buy N-wide
@@ -429,6 +646,7 @@ class BenefitTable:
             else:
                 batch = contenders[:needed]
             self._price(batch, current)
+            contenders = contenders[len(batch):]
 
         return self._pick(current, runner_up_count, max_memory_delta)
 
@@ -465,9 +683,7 @@ class BenefitTable:
         invariant: none of their affected queries changed cost since
         the last evaluation.
         """
-        dirty = [
-            entry for entry in self._entries.values() if entry.dirty
-        ]
+        dirty = list(self._dirty)
         self.statistics.evaluations += len(dirty)
         self.statistics.reused += len(self._entries) - len(dirty)
         if not dirty:
@@ -477,12 +693,13 @@ class BenefitTable:
             move = entry.move
             entry.value = (
                 move.benefit(current)
-                if move.priced
+                if move.costs is not None
                 else move.upper_bound(current)
             )
             entry.dirty = False
 
         self._each(evaluate, dirty)
+        self._dirty.clear()
 
     def _priced_threshold(
         self, needed: int, max_memory_delta: float | None
@@ -495,9 +712,9 @@ class BenefitTable:
         (``-inf``).
         """
         ratios: list[float] = []
-        for entry in self._entries.values():
+        for entry in self._priced:
             move = entry.move
-            if not move.priced or entry.value <= 0.0:
+            if entry.value <= 0.0:
                 continue
             if (
                 max_memory_delta is not None
@@ -521,6 +738,11 @@ class BenefitTable:
             entry.value = entry.move.benefit(current)
 
         self._each(resolve, batch)
+        # Partition moves happen serially: worker threads only touch
+        # entry fields, never the (unsynchronised) dicts.
+        for entry in batch:
+            self._unpriced.pop(entry, None)
+            self._priced[entry] = None
 
     def _pick(
         self,
@@ -531,7 +753,7 @@ class BenefitTable:
         scored = [
             (entry.value / entry.move.memory_delta, entry.value, entry.move)
             for entry in self._entries.values()
-            if entry.move.priced
+            if entry.move.costs is not None
             and entry.value > 0.0
             and (
                 max_memory_delta is None
@@ -586,6 +808,8 @@ class BenefitTable:
 
     def pending_candidates(self) -> int:
         """Moves still unpriced (each saved its backend pricing calls)."""
+        if not self._naive:
+            return len(self._unpriced)
         return sum(
             1 for move in self._entries if not move.priced
         )

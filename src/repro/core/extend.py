@@ -49,6 +49,7 @@ from repro.core.evaluation import (
     BenefitTable,
     CandidateMove,
     EvaluationConfig,
+    WarmBenefitStore,
 )
 from repro.core.steps import (
     STATUS_COMPLETED,
@@ -129,6 +130,14 @@ class ExtendAlgorithm:
         and prices candidate partitions on a thread pool.  The default
         is the incremental serial engine, which selects identical steps
         with strictly fewer what-if calls.
+    warm_store:
+        Optional :class:`~repro.core.evaluation.WarmBenefitStore`
+        shared across runs over the *same* workload: priced candidate
+        cost columns are served from (and written back to) the store,
+        so a repeated selection re-prices nothing.  Stored columns are
+        exactly what pricing would return, so warm runs select
+        bit-identical steps; hits/misses surface as the
+        ``evaluation.warm_*`` gauges.
     skip_oversized:
         When ``True`` (default), a step that would overshoot the budget
         is skipped and smaller fitting steps are still considered —
@@ -155,6 +164,7 @@ class ExtendAlgorithm:
         telemetry: Telemetry = NULL_TELEMETRY,
         skip_oversized: bool = True,
         evaluation: EvaluationConfig | None = None,
+        warm_store: WarmBenefitStore | None = None,
     ) -> None:
         if max_steps is not None and max_steps < 1:
             raise BudgetError(f"max_steps must be >= 1, got {max_steps}")
@@ -183,6 +193,7 @@ class ExtendAlgorithm:
         self._telemetry = telemetry
         self._skip_oversized = skip_oversized
         self._evaluation = evaluation or EvaluationConfig()
+        self._warm_store = warm_store
 
     # ------------------------------------------------------------------
     # Public API
@@ -229,6 +240,7 @@ class ExtendAlgorithm:
                     n_best_singles=self._n_best_singles,
                     pair_seeds=self._pair_seeds,
                     evaluation=self._evaluation,
+                    warm_store=self._warm_store,
                 )
 
             steps: list[ConstructionStep] = []
@@ -432,10 +444,14 @@ class _ConstructionState:
         n_best_singles: int | None,
         pair_seeds: bool,
         evaluation: EvaluationConfig,
+        warm_store: WarmBenefitStore | None = None,
     ) -> None:
         self._workload = workload
         self._schema = workload.schema
         self._optimizer = optimizer
+        self._warm = (
+            warm_store.session() if warm_store is not None else None
+        )
         self._reconfiguration = reconfiguration
         self._baseline = baseline
         self._max_width = max_width
@@ -539,6 +555,10 @@ class _ConstructionState:
     def close(self) -> None:
         """Finalize the engine (fold never-priced moves into stats)."""
         self._table.close()
+        if self._warm is not None:
+            statistics = self._table.statistics
+            statistics.warm_hits += self._warm.hits
+            statistics.warm_misses += self._warm.misses
 
     def _maintenance_delta(
         self, new_index: Index, old_index: Index | None = None
@@ -625,7 +645,7 @@ class _ConstructionState:
 
         if getattr(optimizer, "supports_batch", False):
 
-            def price_batched() -> np.ndarray:
+            def base() -> np.ndarray:
                 # Affected positions always contain the index's leading
                 # attribute (by construction), so this prices the same
                 # applicable pairs the per-pair loop would.
@@ -637,18 +657,33 @@ class _ConstructionState:
                     dtype=np.float64,
                 )
 
-            return price_batched
+        else:
 
-        def price() -> np.ndarray:
-            return np.array(
-                [
-                    optimizer.index_cost(queries[position], index)
-                    for position in positions
-                ],
-                dtype=np.float64,
-            )
+            def base() -> np.ndarray:
+                return np.array(
+                    [
+                        optimizer.index_cost(queries[position], index)
+                        for position in positions
+                    ],
+                    dtype=np.float64,
+                )
 
-        return price
+        warm = self._warm
+        if warm is None:
+            return base
+
+        def price_warm() -> np.ndarray:
+            # The affected positions of any constructive move are a
+            # pure function of the created index over a fixed workload,
+            # so the attribute tuple keys the stored column; a stored
+            # column is exactly what base() would return.
+            costs = warm.fetch(index.attributes, positions)
+            if costs is None:
+                costs = base()
+                warm.store(index.attributes, positions, costs)
+            return costs
+
+        return price_warm
 
     def _build_single_move(self, attribute_id: int) -> CandidateMove | None:
         index = Index.of(self._schema, (attribute_id,))
@@ -659,7 +694,7 @@ class _ConstructionState:
             StepKind.NEW_SINGLE,
             None,
             index,
-            index_memory(self._schema, index),
+            self._index_memory(index),
             positions,
             self._weights[positions],
             self._reconfiguration.creation_cost(self._schema, index),
@@ -678,7 +713,7 @@ class _ConstructionState:
             kind,
             None,
             index,
-            index_memory(self._schema, index),
+            self._index_memory(index),
             positions,
             self._weights[positions],
             self._reconfiguration.creation_cost(self._schema, index),
@@ -686,8 +721,37 @@ class _ConstructionState:
             pricer=self._pricer(index, positions),
         )
 
+    def _index_memory(self, index: Index) -> int:
+        """``index_memory`` with a warm cross-run memo.
+
+        The footprint is a pure function of the schema and the index's
+        attribute tuple, so warm runs reuse the store's memo instead of
+        re-summing attribute value sizes.
+        """
+        warm = self._warm
+        if warm is None:
+            return index_memory(self._schema, index)
+        memory = warm.memory_for(index.attributes)
+        if memory is None:
+            memory = index_memory(self._schema, index)
+            warm.remember_memory(index.attributes, memory)
+        return memory
+
     def _positions_containing(self, required: frozenset[int]) -> np.ndarray:
         """Positions of queries whose attribute set contains ``required``."""
+        warm = self._warm
+        if warm is not None:
+            cached = warm.positions_for(required)
+            if cached is not None:
+                return cached
+        result = self._intersect_positions(required)
+        if warm is not None:
+            warm.remember_positions(required, result)
+        return result
+
+    def _intersect_positions(
+        self, required: frozenset[int]
+    ) -> np.ndarray:
         lists = []
         for attribute_id in required:
             positions = self._queries_with.get(attribute_id)
@@ -732,8 +796,8 @@ class _ConstructionState:
         positions = self._positions_containing(required)
         if positions.size == 0:
             return None
-        memory_delta = index_memory(self._schema, extended) - index_memory(
-            self._schema, index
+        memory_delta = self._index_memory(extended) - self._index_memory(
+            index
         )
         reconfiguration_delta = self._reconfiguration.creation_cost(
             self._schema, extended

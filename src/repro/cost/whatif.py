@@ -205,19 +205,59 @@ class WhatIfOptimizer:
         with self._lock:
             self._statistics.reset()
 
-    def clear_cache(self) -> None:
-        """Drop all cached costs *and* zero the counters, atomically.
+    def clear_cache(
+        self, queries: Iterable[Query] | None = None
+    ) -> int:
+        """Drop cached costs; global by default, scoped when given queries.
 
-        Counters and cache must move together: a cleared cache with
-        surviving ``cache_hits`` would report an inflated ``hit_rate``
-        for the rest of the run (hits that can no longer be explained by
-        any cached entry).  Callers that want counters across epochs
-        should capture ``statistics.copy()`` before clearing.
+        Without arguments (the single-tenant path), all cached costs are
+        dropped *and* the counters are zeroed, atomically.  Counters and
+        cache must move together there: a cleared cache with surviving
+        ``cache_hits`` would report an inflated ``hit_rate`` for the
+        rest of the run (hits that can no longer be explained by any
+        cached entry).  Callers that want counters across epochs should
+        capture ``statistics.copy()`` before clearing.
+
+        With ``queries``, only entries belonging to those queries (by
+        content key — cost, maintenance, and multi-index entries alike)
+        are dropped and the counters are left untouched: a multi-tenant
+        facade shared across workload registrations must be able to
+        invalidate one workload's entries on update without wiping the
+        statistics — or the cached answers — of unrelated concurrent
+        requests.  The counters then describe facade *usage*, not cache
+        *contents*; scoped invalidation may retire entries whose past
+        hits remain counted.
+
+        Returns the number of cache entries removed.
         """
+        if queries is None:
+            with self._lock:
+                removed = len(self._cache) + len(self._maintenance_cache)
+                self._cache.clear()
+                self._maintenance_cache.clear()
+                self._statistics.reset()
+            return removed
+        scope = {query.cache_key for query in queries}
+        if not scope:
+            return 0
         with self._lock:
-            self._cache.clear()
-            self._maintenance_cache.clear()
-            self._statistics.reset()
+            # All cache keys lead with the query content key, so one
+            # membership filter covers cost, maintenance, and
+            # multi-index entries uniformly.
+            before = len(self._cache) + len(self._maintenance_cache)
+            self._cache = {
+                key: value
+                for key, value in self._cache.items()
+                if key[0] not in scope
+            }
+            self._maintenance_cache = {
+                key: value
+                for key, value in self._maintenance_cache.items()
+                if key[0] not in scope
+            }
+            return before - (
+                len(self._cache) + len(self._maintenance_cache)
+            )
 
     # ------------------------------------------------------------------
     # Cost queries

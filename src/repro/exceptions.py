@@ -111,6 +111,30 @@ class ExperimentError(ReproError):
     """An experiment harness received invalid parameters."""
 
 
+class ServiceError(ReproError):
+    """The advisor service was used incorrectly.
+
+    Base class of the ``repro.service`` failures: registering a workload
+    whose schema differs from the service's, submitting to a closed
+    service, subscribing to an unknown request, and similar misuse.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's admission queue is full.
+
+    Raised *synchronously* by ``AdvisorService.submit`` when accepting
+    another request would exceed ``max_concurrency + queue_depth``
+    in-flight requests.  Fail-fast by design: under overload, clients
+    should back off (or retry elsewhere) instead of queueing unboundedly
+    behind requests whose deadlines they will inherit.
+    """
+
+
+class UnknownWorkloadError(ServiceError):
+    """A request referenced a workload name that is not registered."""
+
+
 class TelemetryError(ReproError):
     """The telemetry layer was used incorrectly.
 

@@ -1,0 +1,35 @@
+"""Advisor-as-a-service: a concurrent, deadline-aware daemon.
+
+The :class:`AdvisorService` keeps compiled workloads, warm benefit
+tables, and the shared what-if cache resident across requests, and
+serves concurrent ``recommend`` requests through a bounded thread-pool
+executor with fail-fast admission control.  The JSON-lines protocol in
+:mod:`repro.service.protocol` exposes the same surface over
+stdin/stdout (``python -m repro serve``) without opening any sockets.
+"""
+
+from repro.service.daemon import (
+    AdvisorService,
+    ServiceStatistics,
+    ServiceTicket,
+)
+from repro.service.registry import (
+    WorkloadRegistration,
+    WorkloadRegistry,
+)
+from repro.service.request import RecommendRequest, RecommendResponse
+from repro.service.streams import EventStream, StreamSink
+from repro.service.protocol import serve_loop
+
+__all__ = [
+    "AdvisorService",
+    "EventStream",
+    "RecommendRequest",
+    "RecommendResponse",
+    "ServiceStatistics",
+    "ServiceTicket",
+    "StreamSink",
+    "WorkloadRegistration",
+    "WorkloadRegistry",
+    "serve_loop",
+]

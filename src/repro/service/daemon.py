@@ -1,0 +1,523 @@
+"""The advisor service: bounded concurrency, deadlines, residency.
+
+An :class:`AdvisorService` is one schema's long-lived recommendation
+daemon.  Everything expensive stays resident between requests — the
+per-kernel what-if stacks (shared :class:`~repro.cost.whatif.WhatIfOptimizer`
+caches, compiled workload packs of the vectorized kernel) and the
+per-workload warm benefit tables — so the second request for a
+registered workload skips nearly all cost-model work of the first.
+
+Admission is fail-fast: at most ``max_concurrency`` requests execute
+while up to ``queue_depth`` more wait; a submit beyond that raises
+:class:`~repro.exceptions.ServiceOverloadedError` *synchronously*
+instead of queueing unboundedly.  Every request's deadline starts at
+submission, so queue wait counts against it and an overloaded service
+degrades to tagged best-so-far results rather than missing deadlines
+silently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.advisor import (
+    ALGORITHMS,
+    COST_KERNELS,
+    KernelStacks,
+    coerce_budget,
+    run_selection,
+)
+from repro.core.evaluation import EvaluationConfig
+from repro.core.steps import STATUS_DEGRADED
+from repro.cost.whatif import CostSource
+from repro.exceptions import (
+    ExperimentError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.resilience import Deadline, ResiliencePolicy
+from repro.service.registry import (
+    WorkloadRegistration,
+    WorkloadRegistry,
+)
+from repro.service.request import RecommendRequest, RecommendResponse
+from repro.service.streams import EventStream, StreamSink
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.workload.query import Query, Workload
+from repro.workload.schema import Schema
+from repro.workload.sql import workload_from_sql
+
+__all__ = ["AdvisorService", "ServiceStatistics", "ServiceTicket"]
+
+
+@dataclass
+class ServiceStatistics:
+    """Lifetime counters of one service (the ``service.*`` gauges)."""
+
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    degraded: int = 0
+    failed: int = 0
+    warm_requests: int = 0
+    in_flight: int = 0
+    queue_depth: int = 0
+    peak_in_flight: int = 0
+    peak_queue_depth: int = 0
+    queue_wait_seconds_total: float = 0.0
+    wall_seconds_total: float = 0.0
+
+    def copy(self) -> ServiceStatistics:
+        """Point-in-time copy (the live object mutates in place)."""
+        return ServiceStatistics(**vars(self))
+
+    @property
+    def warm_request_rate(self) -> float:
+        """Share of completed requests served from warm tables."""
+        return (
+            self.warm_requests / self.completed if self.completed else 0.0
+        )
+
+    def publish(self, registry, prefix: str = "service") -> None:
+        """Bridge the counters into a telemetry registry as gauges."""
+        registry.gauge(f"{prefix}.admitted").set(self.admitted)
+        registry.gauge(f"{prefix}.rejected").set(self.rejected)
+        registry.gauge(f"{prefix}.completed").set(self.completed)
+        registry.gauge(f"{prefix}.degraded").set(self.degraded)
+        registry.gauge(f"{prefix}.failed").set(self.failed)
+        registry.gauge(f"{prefix}.warm_requests").set(
+            self.warm_requests
+        )
+        registry.gauge(f"{prefix}.warm_request_rate").set(
+            self.warm_request_rate
+        )
+        registry.gauge(f"{prefix}.in_flight").set(self.in_flight)
+        registry.gauge(f"{prefix}.queue_depth").set(self.queue_depth)
+        registry.gauge(f"{prefix}.peak_in_flight").set(
+            self.peak_in_flight
+        )
+        registry.gauge(f"{prefix}.peak_queue_depth").set(
+            self.peak_queue_depth
+        )
+        registry.gauge(f"{prefix}.queue_wait_seconds_total").set(
+            self.queue_wait_seconds_total
+        )
+        registry.gauge(f"{prefix}.wall_seconds_total").set(
+            self.wall_seconds_total
+        )
+
+
+class ServiceTicket:
+    """Handle of one admitted request: result future + event stream."""
+
+    def __init__(
+        self, request_id: str, stream: EventStream, future: Future
+    ) -> None:
+        self.request_id = request_id
+        self.stream = stream
+        self._future = future
+
+    def done(self) -> bool:
+        """True once the request finished (successfully or not)."""
+        return self._future.done()
+
+    def result(self, timeout_s: float | None = None) -> RecommendResponse:
+        """Block until the response is ready (re-raises failures)."""
+        return self._future.result(timeout=timeout_s)
+
+
+class AdvisorService:
+    """A concurrent, deadline-aware recommendation daemon for one schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema every registered workload must belong to.
+    max_concurrency:
+        Worker threads executing requests (>= 1).
+    queue_depth:
+        Requests allowed to wait beyond the executing ones (>= 0);
+        admission capacity is ``max_concurrency + queue_depth``.
+    default_deadline_s:
+        Deadline for requests that do not carry their own (``None`` =
+        unlimited).  Deadlines start at submission.
+    cost_source:
+        Primary what-if backend shared by all requests; defaults to the
+        per-kernel analytic model.  Flaky sources are wrapped with
+        retries, a circuit breaker, and the analytic fallback exactly
+        as in :class:`~repro.advisor.IndexAdvisor`.
+    resilience:
+        Retry/breaker policy for the shared cost stacks.
+    cost_kernel:
+        Kernel flavour used when a request does not pick one.
+    clock:
+        Monotonic time source (injectable for deterministic tests);
+        feeds both deadlines and the queue/wall timings.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        max_concurrency: int = 2,
+        queue_depth: int = 8,
+        default_deadline_s: float | None = None,
+        cost_source: CostSource | None = None,
+        resilience: ResiliencePolicy | None = None,
+        cost_kernel: str = "vectorized",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServiceError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if queue_depth < 0:
+            raise ServiceError(
+                f"queue_depth must be >= 0, got {queue_depth}"
+            )
+        if cost_kernel not in COST_KERNELS:
+            raise ExperimentError(
+                f"unknown cost kernel {cost_kernel!r}; pick one of "
+                f"{', '.join(COST_KERNELS)}"
+            )
+        self._schema = schema
+        self._max_concurrency = max_concurrency
+        self._queue_depth = queue_depth
+        self._capacity = max_concurrency + queue_depth
+        self._default_deadline_s = default_deadline_s
+        self._default_kernel = cost_kernel
+        self._clock = clock
+        self._stacks = KernelStacks(
+            schema, cost_source=cost_source, policy=resilience
+        )
+        self._registry = WorkloadRegistry(schema, self._stacks)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency,
+            thread_name_prefix="repro-service",
+        )
+        self._lock = threading.Lock()
+        self._statistics = ServiceStatistics()
+        self._active: dict[str, EventStream] = {}
+        self._request_counter = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Workload lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this service recommends for."""
+        return self._schema
+
+    @property
+    def registry(self) -> WorkloadRegistry:
+        """The registered-workload table (exposed for inspection)."""
+        return self._registry
+
+    @property
+    def kernel_stacks(self) -> KernelStacks:
+        """The shared per-kernel cost stacks (exposed for accounting)."""
+        return self._stacks
+
+    def workloads(self) -> tuple[str, ...]:
+        """Names of all registered workloads, sorted."""
+        return self._registry.names()
+
+    def register_workload(
+        self,
+        name: str,
+        workload: Workload
+        | Sequence[str]
+        | Sequence[tuple[str, float]]
+        | Iterable[Query],
+    ) -> WorkloadRegistration:
+        """Make a workload resident under ``name``."""
+        return self._registry.register(
+            name, self._coerce_workload(workload)
+        )
+
+    def update_workload(
+        self,
+        name: str,
+        workload: Workload
+        | Sequence[str]
+        | Sequence[tuple[str, float]]
+        | Iterable[Query],
+    ) -> WorkloadRegistration:
+        """Replace a resident workload; bumps its version and clears
+        only the cache entries of dropped-or-changed queries."""
+        registration, _ = self._registry.update(
+            name, self._coerce_workload(workload)
+        )
+        return registration
+
+    def evict_workload(self, name: str) -> int:
+        """Drop a resident workload; returns invalidated cache entries."""
+        return self._registry.evict(name)
+
+    def _coerce_workload(
+        self,
+        workload: Workload
+        | Sequence[str]
+        | Sequence[tuple[str, float]]
+        | Iterable[Query],
+    ) -> Workload:
+        if isinstance(workload, Workload):
+            return workload
+        items = list(workload)
+        if not items:
+            raise ExperimentError("empty workload")
+        if isinstance(items[0], Query):
+            return Workload(self._schema, items)  # type: ignore[arg-type]
+        return workload_from_sql(self._schema, items)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def submit(self, request: RecommendRequest) -> ServiceTicket:
+        """Admit one request and start it as soon as a worker frees up.
+
+        Validation (unknown workload/algorithm/kernel, bad budget) and
+        admission rejections raise synchronously; everything that can
+        only fail later surfaces through the ticket's future.
+        """
+        registration = self._registry.get(request.workload)
+        if request.algorithm not in ALGORITHMS:
+            raise ExperimentError(
+                f"unknown algorithm {request.algorithm!r}; pick one of "
+                f"{', '.join(ALGORITHMS)}"
+            )
+        kernel = request.cost_kernel or self._default_kernel
+        if kernel not in COST_KERNELS:
+            raise ExperimentError(
+                f"unknown cost kernel {kernel!r}; pick one of "
+                f"{', '.join(COST_KERNELS)}"
+            )
+        budget = coerce_budget(
+            self._schema, request.budget_share, request.budget_bytes
+        )
+        # Capture the workload snapshot now: a concurrent
+        # update_workload must not tear an admitted request.
+        workload = registration.workload
+        version = registration.version
+        with self._lock:
+            if self._closed:
+                raise ServiceError("submit() on a closed AdvisorService")
+            statistics = self._statistics
+            if statistics.in_flight >= self._capacity:
+                statistics.rejected += 1
+                raise ServiceOverloadedError(
+                    f"service at capacity ({self._max_concurrency} "
+                    f"executing + {self._queue_depth} queued); "
+                    "retry later"
+                )
+            statistics.admitted += 1
+            statistics.in_flight += 1
+            statistics.peak_in_flight = max(
+                statistics.peak_in_flight, statistics.in_flight
+            )
+            statistics.queue_depth = max(
+                0, statistics.in_flight - self._max_concurrency
+            )
+            statistics.peak_queue_depth = max(
+                statistics.peak_queue_depth, statistics.queue_depth
+            )
+            self._request_counter += 1
+            request_id = (
+                request.request_id or f"req-{self._request_counter}"
+            )
+            stream = EventStream(request_id)
+            self._active[request_id] = stream
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self._default_deadline_s
+        )
+        deadline = Deadline(deadline_s, clock=self._clock)
+        submitted_at = self._clock()
+        future = self._executor.submit(
+            self._execute,
+            request,
+            registration,
+            workload,
+            version,
+            kernel,
+            budget,
+            request_id,
+            stream,
+            deadline,
+            submitted_at,
+        )
+        return ServiceTicket(request_id, stream, future)
+
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        """Submit and block for the response (the synchronous path)."""
+        return self.submit(request).result()
+
+    def subscribe(self, request_id: str) -> EventStream:
+        """The live event stream of an in-flight request."""
+        with self._lock:
+            stream = self._active.get(request_id)
+        if stream is None:
+            raise ServiceError(
+                f"no in-flight request with id {request_id!r}"
+            )
+        return stream
+
+    def _execute(
+        self,
+        request: RecommendRequest,
+        registration: WorkloadRegistration,
+        workload: Workload,
+        version: int,
+        kernel: str,
+        budget: float,
+        request_id: str,
+        stream: EventStream,
+        deadline: Deadline,
+        submitted_at: float,
+    ) -> RecommendResponse:
+        started = self._clock()
+        queue_seconds = max(0.0, started - submitted_at)
+        telemetry = Telemetry(sinks=(StreamSink(stream),))
+        try:
+            resilient, optimizer = self._stacks.stack(kernel)
+            warm_store = registration.warm_store(kernel)
+            warm = len(warm_store) > 0
+            before = optimizer.statistics.copy()
+            result = run_selection(
+                workload,
+                budget,
+                algorithm=request.algorithm,
+                optimizer=optimizer,
+                telemetry=telemetry,
+                candidate_width=request.candidate_width,
+                deadline=deadline,
+                evaluation=EvaluationConfig(
+                    parallelism=request.parallelism
+                ),
+                warm_store=warm_store,
+            )
+            wall_seconds = max(0.0, self._clock() - started)
+            telemetry.record_whatif(optimizer.statistics.since(before))
+            telemetry.record_resilience(resilient.statistics)
+            kernel_statistics = self._stacks.vectorized_statistics()
+            if kernel_statistics is not None:
+                telemetry.record_kernel(kernel_statistics)
+            with self._lock:
+                statistics = self._statistics
+                statistics.completed += 1
+                if result.status == STATUS_DEGRADED:
+                    statistics.degraded += 1
+                if warm:
+                    statistics.warm_requests += 1
+                statistics.queue_wait_seconds_total += queue_seconds
+                statistics.wall_seconds_total += wall_seconds
+                registration.served += 1
+                lifetime = statistics.copy()
+            metrics = telemetry.metrics
+            lifetime.publish(metrics)
+            metrics.gauge("service.queue_seconds").set(queue_seconds)
+            metrics.gauge("service.wall_seconds").set(wall_seconds)
+            metrics.gauge("service.warm").set(1 if warm else 0)
+            metrics.gauge("service.warm_table_hit_rate").set(
+                metrics.snapshot().get("evaluation.warm_hit_rate", 0.0)
+            )
+            metrics.gauge("service.breaker_state").set(
+                resilient.statistics.breaker_state.value
+            )
+            gauges = {
+                name: value
+                for name, value in metrics.snapshot().items()
+                if isinstance(value, (int, float))
+            }
+            schema = workload.schema
+            indexes = tuple(
+                index.label(schema)
+                for index in sorted(
+                    result.configuration,
+                    key=lambda index: (
+                        index.table_name,
+                        index.attributes,
+                    ),
+                )
+            )
+            return RecommendResponse(
+                request_id=request_id,
+                workload=request.workload,
+                workload_version=version,
+                status=result.status,
+                warm=warm,
+                wall_seconds=wall_seconds,
+                queue_seconds=queue_seconds,
+                result=result,
+                indexes=indexes,
+                gauges=gauges,
+            )
+        except BaseException:
+            with self._lock:
+                self._statistics.failed += 1
+            raise
+        finally:
+            telemetry.close()
+            stream.finish()
+            with self._lock:
+                statistics = self._statistics
+                statistics.in_flight -= 1
+                statistics.queue_depth = max(
+                    0, statistics.in_flight - self._max_concurrency
+                )
+                self._active.pop(request_id, None)
+
+    # ------------------------------------------------------------------
+    # Observability and shutdown
+    # ------------------------------------------------------------------
+
+    @property
+    def statistics(self) -> ServiceStatistics:
+        """Point-in-time copy of the lifetime counters."""
+        with self._lock:
+            return self._statistics.copy()
+
+    def gauges(self) -> dict[str, float]:
+        """The current ``service.*`` gauge values.
+
+        ``service.breaker_state`` reports the worst (highest) breaker
+        level across the kernel stacks built so far: 0 closed,
+        1 half-open, 2 open.
+        """
+        registry = MetricsRegistry()
+        self.statistics.publish(registry)
+        breaker = 0
+        for kernel in self._stacks.built_kernels():
+            resilient, _ = self._stacks.stack(kernel)
+            breaker = max(
+                breaker, resilient.statistics.breaker_state.value
+            )
+        registry.gauge("service.breaker_state").set(breaker)
+        return {
+            name: value
+            for name, value in registry.snapshot().items()
+            if isinstance(value, (int, float))
+        }
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting requests and shut the worker pool down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> AdvisorService:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,224 @@
+"""Network-free JSON-lines protocol for the advisor service.
+
+``python -m repro serve`` runs :func:`serve_loop` over stdin/stdout:
+one JSON object per input line, one (or more, when streaming) JSON
+objects per output line.  No sockets are opened — transport is the
+caller's problem (pipes, ssh, a supervisor), which keeps the daemon
+trivially sandboxable and testable.
+
+Operations (``"op"`` key)::
+
+    {"op": "register", "workload": "w1", "queries": ["SELECT ...", ...]}
+    {"op": "update",   "workload": "w1", "queries": [["SELECT ...", 5.0]]}
+    {"op": "evict",    "workload": "w1"}
+    {"op": "recommend", "workload": "w1", "budget_share": 0.3,
+     "algorithm": "extend", "deadline_s": 2.0, "stream": true}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+``queries`` entries are SQL template strings or ``[sql, frequency]``
+pairs.  Every response carries ``"ok"`` plus an echoed ``"id"`` when
+the request had one.  With ``"stream": true`` a recommend emits each
+step event as ``{"ok": true, "op": "event", ...}`` lines before the
+final response, so a client sees the construction frontier live.
+Errors never kill the loop: they come back as
+``{"ok": false, "error": <class>, "message": ...}`` —
+``ServiceOverloadedError`` is the backpressure signal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.request import RecommendRequest
+
+__all__ = ["serve_loop"]
+
+_REQUEST_FIELDS = (
+    "workload",
+    "budget_share",
+    "budget_bytes",
+    "algorithm",
+    "cost_kernel",
+    "deadline_s",
+    "parallelism",
+    "candidate_width",
+    "request_id",
+)
+
+
+def _queries(message: dict) -> list:
+    queries = message.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ServiceError(
+            f"{message.get('op')} needs a non-empty 'queries' list"
+        )
+    return [
+        tuple(entry) if isinstance(entry, list) else entry
+        for entry in queries
+    ]
+
+
+def _workload_name(message: dict) -> str:
+    name = message.get("workload")
+    if not isinstance(name, str) or not name:
+        raise ServiceError(
+            f"{message.get('op')} needs a 'workload' name"
+        )
+    return name
+
+
+def _recommend_request(
+    message: dict, defaults: dict | None
+) -> RecommendRequest:
+    fields = dict(defaults or {})
+    fields.update(
+        {
+            key: message[key]
+            for key in _REQUEST_FIELDS
+            if message.get(key) is not None
+        }
+    )
+    fields["workload"] = _workload_name(message)
+    return RecommendRequest(**fields)
+
+
+def _handle(
+    service, message: dict, emit, defaults: dict | None
+) -> bool:
+    """Process one message; returns False on shutdown."""
+    op = message.get("op")
+    if op == "register":
+        registration = service.register_workload(
+            _workload_name(message), _queries(message)
+        )
+        emit(
+            {
+                "ok": True,
+                "op": op,
+                "workload": registration.name,
+                "version": registration.version,
+                "queries": len(registration.workload),
+            }
+        )
+    elif op == "update":
+        registration = service.update_workload(
+            _workload_name(message), _queries(message)
+        )
+        emit(
+            {
+                "ok": True,
+                "op": op,
+                "workload": registration.name,
+                "version": registration.version,
+                "queries": len(registration.workload),
+            }
+        )
+    elif op == "evict":
+        name = _workload_name(message)
+        invalidated = service.evict_workload(name)
+        emit(
+            {
+                "ok": True,
+                "op": op,
+                "workload": name,
+                "invalidated_cache_entries": invalidated,
+            }
+        )
+    elif op == "recommend":
+        request = _recommend_request(message, defaults)
+        if message.get("stream"):
+            ticket = service.submit(request)
+            for event in ticket.stream.events():
+                emit({"ok": True, "op": "event", **event})
+            response = ticket.result()
+        else:
+            response = service.recommend(request)
+        emit({"ok": True, "op": op, **response.to_dict()})
+    elif op == "stats":
+        emit(
+            {
+                "ok": True,
+                "op": op,
+                "workloads": list(service.workloads()),
+                "gauges": service.gauges(),
+            }
+        )
+    elif op == "shutdown":
+        emit({"ok": True, "op": op})
+        return False
+    else:
+        raise ServiceError(f"unknown op {op!r}")
+    return True
+
+
+def serve_loop(
+    service,
+    input_stream: IO[str],
+    output_stream: IO[str],
+    *,
+    request_defaults: dict | None = None,
+) -> int:
+    """Serve JSON-lines requests until shutdown or end of input.
+
+    ``request_defaults`` pre-fills recommend-request fields (e.g. the
+    CLI's ``--parallelism``) that individual messages may override.
+    Returns the number of messages handled.  The service is closed on
+    exit (waiting for in-flight requests), whatever ended the loop.
+    """
+    handled = 0
+    try:
+        for line in input_stream:
+            line = line.strip()
+            if not line:
+                continue
+            handled += 1
+            correlation = None
+            emit = _emitter(output_stream, lambda: correlation)
+            try:
+                message = json.loads(line)
+                if not isinstance(message, dict):
+                    raise ServiceError(
+                        "each input line must be a JSON object"
+                    )
+                correlation = message.get("id")
+                if not _handle(
+                    service, message, emit, request_defaults
+                ):
+                    break
+            except json.JSONDecodeError as error:
+                emit(
+                    {
+                        "ok": False,
+                        "error": "JSONDecodeError",
+                        "message": str(error),
+                    }
+                )
+            except (ReproError, TypeError) as error:
+                # TypeError covers unexpected RecommendRequest fields;
+                # anything else is a genuine bug and should crash loud.
+                emit(
+                    {
+                        "ok": False,
+                        "error": type(error).__name__,
+                        "message": str(error),
+                    }
+                )
+    finally:
+        service.close()
+    return handled
+
+
+def _emitter(output_stream: IO[str], correlation):
+    def emit(payload: dict) -> None:
+        identifier = correlation()
+        if identifier is not None:
+            payload = {"id": identifier, **payload}
+        json.dump(payload, output_stream, separators=(",", ":"))
+        output_stream.write("\n")
+        output_stream.flush()
+
+    return emit
+

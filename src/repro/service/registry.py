@@ -1,0 +1,165 @@
+"""Registered-workload lifecycle and scoped cache invalidation.
+
+The service's whole reason to exist is residency: what-if cache
+entries, compiled workload packs, and warm benefit tables survive
+between requests.  That makes workload *change* the dangerous
+operation — this module owns it.  ``update`` and ``evict`` invalidate
+the shared what-if caches *scoped to the affected queries* (via
+``WhatIfOptimizer.clear_cache(queries)``), so the entries and counters
+of every other registered workload survive untouched; warm benefit
+tables are reset wholesale on any change because their columns are a
+function of the entire workload.
+
+Invalidation is content-keyed, like the caches: a query that appears
+verbatim in both the old and new version of a workload keeps its
+entries across an ``update``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.advisor import KernelStacks
+from repro.core.evaluation import WarmBenefitStore
+from repro.exceptions import ServiceError, UnknownWorkloadError
+from repro.workload.query import Query, Workload
+
+__all__ = ["WorkloadRegistration", "WorkloadRegistry"]
+
+
+@dataclass
+class WorkloadRegistration:
+    """One resident workload plus its per-kernel warm benefit tables."""
+
+    name: str
+    workload: Workload
+    version: int = 1
+    served: int = 0
+    """Completed recommend requests against this registration."""
+    warm_stores: dict[str, WarmBenefitStore] = field(
+        default_factory=dict
+    )
+
+    def warm_store(self, kernel: str) -> WarmBenefitStore:
+        """The warm benefit table of one cost-kernel flavour.
+
+        Per-kernel for the same reason the what-if stacks are: scalar
+        and vectorized costs agree only to 1e-9, and warm columns must
+        be bit-identical to what cold pricing would have produced.
+        """
+        store = self.warm_stores.get(kernel)
+        if store is None:
+            # setdefault: concurrent first requests for one kernel must
+            # agree on a single store object.
+            store = self.warm_stores.setdefault(
+                kernel, WarmBenefitStore()
+            )
+        return store
+
+
+class WorkloadRegistry:
+    """Named workloads sharing one schema and one set of kernel stacks."""
+
+    def __init__(self, schema, stacks: KernelStacks) -> None:
+        self._schema = schema
+        self._stacks = stacks
+        self._lock = threading.Lock()
+        self._registrations: dict[str, WorkloadRegistration] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._registrations)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._registrations))
+
+    def get(self, name: str) -> WorkloadRegistration:
+        with self._lock:
+            registration = self._registrations.get(name)
+        if registration is None:
+            raise UnknownWorkloadError(
+                f"no workload registered under {name!r}"
+            )
+        return registration
+
+    def register(
+        self, name: str, workload: Workload
+    ) -> WorkloadRegistration:
+        """Register a new workload; rejects duplicates and foreign
+        schemas (use :meth:`update` to replace)."""
+        self._check_schema(workload)
+        with self._lock:
+            if name in self._registrations:
+                raise ServiceError(
+                    f"workload {name!r} is already registered; "
+                    "use update_workload to replace it"
+                )
+            registration = WorkloadRegistration(
+                name=name, workload=workload
+            )
+            self._registrations[name] = registration
+            return registration
+
+    def update(
+        self, name: str, workload: Workload
+    ) -> tuple[WorkloadRegistration, int]:
+        """Replace a registered workload in place.
+
+        Returns the bumped registration and the number of shared-cache
+        entries invalidated.  Only entries of *dropped or changed*
+        queries are cleared — queries carried over verbatim keep their
+        cached costs, which is what makes small workload drift cheap.
+        """
+        self._check_schema(workload)
+        with self._lock:
+            registration = self._registrations.get(name)
+            if registration is None:
+                raise UnknownWorkloadError(
+                    f"no workload registered under {name!r}"
+                )
+            carried = {query.cache_key for query in workload}
+            stale = [
+                query
+                for query in registration.workload
+                if query.cache_key not in carried
+            ]
+            invalidated = self._invalidate(stale)
+            registration.workload = workload
+            registration.version += 1
+            # Replace (not clear) the warm stores: a request admitted
+            # against the old version may still be writing old-workload
+            # columns, which must not leak into the new version's store.
+            registration.warm_stores = {}
+            return registration, invalidated
+
+    def evict(self, name: str) -> int:
+        """Drop a registration; returns invalidated cache entries."""
+        with self._lock:
+            registration = self._registrations.pop(name, None)
+            if registration is None:
+                raise UnknownWorkloadError(
+                    f"no workload registered under {name!r}"
+                )
+            return self._invalidate(list(registration.workload))
+
+    def _invalidate(self, queries: list[Query]) -> int:
+        # Clears by query content key across every kernel stack built so
+        # far.  A query shared verbatim by another registration loses
+        # its entries too — a repricing hiccup, never a correctness
+        # problem, since the caches are content-keyed and deterministic.
+        if not queries:
+            return 0
+        removed = 0
+        for kernel in self._stacks.built_kernels():
+            _, optimizer = self._stacks.stack(kernel)
+            removed += optimizer.clear_cache(queries)
+        return removed
+
+    def _check_schema(self, workload: Workload) -> None:
+        if workload.schema is not self._schema:
+            raise ServiceError(
+                "workload schema differs from the service schema; "
+                "one AdvisorService serves exactly one schema"
+            )

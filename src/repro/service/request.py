@@ -1,0 +1,114 @@
+"""Request and response models of the advisor service.
+
+A :class:`RecommendRequest` names a *registered* workload instead of
+carrying one: registration is what lets the service keep compiled
+workload packs, warm benefit tables, and what-if cache entries resident
+between requests.  The :class:`RecommendResponse` carries the selection
+result plus the per-request observability gauges (``service.*``,
+``whatif.*`` deltas, ``evaluation.*``, ``resilience.*``) so callers can
+see queueing, degradation, and warm-table reuse without scraping logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.steps import SelectionResult, STATUS_DEGRADED
+from repro.exceptions import BudgetError, ExperimentError
+
+__all__ = ["RecommendRequest", "RecommendResponse"]
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """One recommendation request against a registered workload.
+
+    Parameters
+    ----------
+    workload:
+        Name of a workload previously registered with
+        :meth:`~repro.service.AdvisorService.register_workload`.
+    budget_share / budget_bytes:
+        Exactly one of: the Eq. 10 share ``w``, or absolute bytes.
+    algorithm:
+        One of the advisor algorithms (``extend`` by default — the
+        service's warm benefit tables accelerate the extend variants).
+    cost_kernel:
+        ``"scalar"`` / ``"vectorized"`` / ``None`` (service default).
+    deadline_s:
+        Per-request wall-clock budget, measured from *submission* (queue
+        wait counts against it).  ``None`` uses the service default.
+        On expiry the request degrades to a tagged best-so-far result
+        instead of failing.
+    parallelism:
+        Worker threads for candidate evaluation within this request.
+    candidate_width:
+        Maximum index width for the two-step algorithms' candidate set.
+    request_id:
+        Caller-chosen correlation id; auto-assigned when ``None``.
+    """
+
+    workload: str
+    budget_share: float | None = None
+    budget_bytes: float | None = None
+    algorithm: str = "extend"
+    cost_kernel: str | None = None
+    deadline_s: float | None = None
+    parallelism: int = 1
+    candidate_width: int = 4
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ExperimentError("request needs a workload name")
+        if self.parallelism < 1:
+            raise BudgetError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise BudgetError(
+                f"deadline_s must be >= 0, got {self.deadline_s}"
+            )
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """The outcome of one service request."""
+
+    request_id: str
+    workload: str
+    workload_version: int
+    status: str
+    warm: bool
+    """True when the request ran against already-populated warm benefit
+    tables for its cost kernel (i.e. it was not the first extend-family
+    request since the workload was (re-)registered)."""
+    wall_seconds: float
+    queue_seconds: float
+    result: SelectionResult
+    indexes: tuple[str, ...]
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run returned a tagged best-so-far result."""
+        return self.status == STATUS_DEGRADED
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering for the line protocol."""
+        return {
+            "request_id": self.request_id,
+            "workload": self.workload,
+            "workload_version": self.workload_version,
+            "status": self.status,
+            "warm": self.warm,
+            "wall_seconds": self.wall_seconds,
+            "queue_seconds": self.queue_seconds,
+            "algorithm": self.result.algorithm,
+            "total_cost": self.result.total_cost,
+            "memory": self.result.memory,
+            "budget": self.result.budget,
+            "whatif_calls": self.result.whatif_calls,
+            "indexes": list(self.indexes),
+            "gauges": dict(self.gauges),
+        }

@@ -1,0 +1,96 @@
+"""Streaming progress for in-flight service requests.
+
+Each admitted request gets an :class:`EventStream`; the worker thread's
+per-request telemetry session carries a :class:`StreamSink` that
+forwards every step record (``"type": "step"``) into the stream, tagged
+with the request id.  Subscribers iterate :meth:`EventStream.events`
+from any thread — records arrive in emission order while the request
+runs and the iterator ends when the request finishes, so a protocol
+client watching ``"stream": true`` output sees the construction
+frontier live instead of a silent wait.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+__all__ = ["EventStream", "StreamSink"]
+
+
+class EventStream:
+    """Thread-safe, ordered log of one request's step records."""
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self._records: list[dict] = []
+        self._condition = threading.Condition()
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        """True once the producing request completed (or failed)."""
+        with self._condition:
+            return self._finished
+
+    def publish(self, record: dict) -> None:
+        """Append one record and wake every waiting subscriber."""
+        with self._condition:
+            if self._finished:
+                return
+            self._records.append(record)
+            self._condition.notify_all()
+
+    def finish(self) -> None:
+        """Mark the stream complete; iterators drain and stop."""
+        with self._condition:
+            self._finished = True
+            self._condition.notify_all()
+
+    def snapshot(self) -> tuple[dict, ...]:
+        """Every record published so far."""
+        with self._condition:
+            return tuple(self._records)
+
+    def events(self, timeout_s: float | None = None) -> Iterator[dict]:
+        """Yield records in order until the stream finishes.
+
+        ``timeout_s`` bounds each *wait* for the next record (not the
+        whole iteration); on a timed-out wait the iterator stops early,
+        which keeps protocol clients from hanging on a stuck worker.
+        """
+        position = 0
+        while True:
+            with self._condition:
+                while (
+                    position >= len(self._records)
+                    and not self._finished
+                ):
+                    if not self._condition.wait(timeout=timeout_s):
+                        return
+                if position >= len(self._records) and self._finished:
+                    return
+                record = self._records[position]
+            position += 1
+            yield record
+
+
+class StreamSink:
+    """Telemetry sink that forwards step records into an event stream.
+
+    Only ``"step"`` records are forwarded (span and metrics records stay
+    in the per-request session); each forwarded record gains the
+    producing ``request_id`` so multiplexed consumers can demux.
+    """
+
+    def __init__(self, stream: EventStream) -> None:
+        self._stream = stream
+
+    def emit(self, record: dict) -> None:
+        if record.get("type") == "step":
+            self._stream.publish(
+                {**record, "request_id": self._stream.request_id}
+            )
+
+    def close(self) -> None:
+        pass

@@ -91,6 +91,46 @@ class TestCaching:
         assert optimizer.statistics.cache_hits == 0
         assert source.invocations == 2
 
+    def test_scoped_clear_removes_only_given_queries(
+        self, counting, tiny_workload, tiny_schema
+    ):
+        source, optimizer = counting
+        kept, cleared = tiny_workload.queries[0], tiny_workload.queries[1]
+        index = Index.of(tiny_schema, (1,))
+        optimizer.sequential_cost(kept)
+        optimizer.sequential_cost(cleared)
+        optimizer.index_cost(cleared, index)
+        removed = optimizer.clear_cache([cleared])
+        assert removed == 2  # sequential + index entry of `cleared`
+        before = source.invocations
+        optimizer.sequential_cost(kept)  # still cached
+        assert source.invocations == before
+        optimizer.sequential_cost(cleared)  # repriced
+        assert source.invocations == before + 1
+
+    def test_scoped_clear_keeps_statistics(
+        self, counting, tiny_workload
+    ):
+        """Scoped invalidation serves multi-tenant callers: evicting one
+        workload must not zero the counters other tenants are watching.
+        """
+        _, optimizer = counting
+        query = tiny_workload.queries[0]
+        optimizer.sequential_cost(query)
+        optimizer.sequential_cost(query)  # cache hit
+        assert optimizer.statistics.cache_hits == 1
+        optimizer.clear_cache([query])
+        assert optimizer.calls == 1
+        assert optimizer.statistics.cache_hits == 1
+
+    def test_scoped_clear_of_unknown_queries_is_a_noop(
+        self, counting, tiny_workload
+    ):
+        _, optimizer = counting
+        optimizer.sequential_cost(tiny_workload.queries[0])
+        assert optimizer.clear_cache([tiny_workload.queries[1]]) == 0
+        assert optimizer.clear_cache([]) == 0
+
     def test_reset_statistics(self, counting, tiny_workload):
         _, optimizer = counting
         optimizer.sequential_cost(tiny_workload.queries[0])

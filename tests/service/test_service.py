@@ -1,0 +1,409 @@
+"""Tests for the concurrent advisor service daemon."""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.advisor import IndexAdvisor
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource
+from repro.exceptions import (
+    ExperimentError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownWorkloadError,
+)
+from repro.service import (
+    AdvisorService,
+    RecommendRequest,
+)
+
+
+@pytest.fixture
+def service(small_workload):
+    with AdvisorService(
+        small_workload.schema, max_concurrency=2, queue_depth=4
+    ) as service:
+        service.register_workload("w", small_workload)
+        yield service
+
+
+class _GateSource:
+    """Scalar analytic source whose every call waits for an event."""
+
+    parallel_safe = True
+
+    def __init__(self, schema, gate: threading.Event) -> None:
+        self._inner = AnalyticalCostSource(CostModel(schema))
+        self._gate = gate
+
+    def query_cost(self, query, index):
+        self._gate.wait()
+        return self._inner.query_cost(query, index)
+
+    def maintenance_cost(self, query, index):
+        self._gate.wait()
+        return self._inner.maintenance_cost(query, index)
+
+    def multi_index_cost(self, query, indexes):
+        self._gate.wait()
+        return self._inner.multi_index_cost(query, indexes)
+
+
+class TestConcurrencyIdentity:
+    def test_concurrent_results_match_serial_advisor(
+        self, small_workload
+    ):
+        """N threads of mixed requests select bit-identical
+        configurations to one-shot serial ``IndexAdvisor.recommend``."""
+        mix = [
+            ("extend", 0.2),
+            ("extend", 0.4),
+            ("h2", 0.3),
+            ("h4", 0.3),
+            ("extend", 0.2),
+            ("h2", 0.3),
+        ]
+        serial = {}
+        for algorithm, share in set(mix):
+            advisor = IndexAdvisor(small_workload.schema)
+            serial[(algorithm, share)] = advisor.recommend(
+                small_workload,
+                budget_share=share,
+                algorithm=algorithm,
+            ).result.configuration_signature()
+
+        with AdvisorService(
+            small_workload.schema, max_concurrency=4, queue_depth=8
+        ) as service:
+            service.register_workload("w", small_workload)
+            with ThreadPoolExecutor(max_workers=len(mix)) as pool:
+                responses = list(
+                    pool.map(
+                        lambda spec: service.recommend(
+                            RecommendRequest(
+                                workload="w",
+                                budget_share=spec[1],
+                                algorithm=spec[0],
+                            )
+                        ),
+                        mix,
+                    )
+                )
+        for spec, response in zip(mix, responses):
+            assert (
+                response.result.configuration_signature()
+                == serial[spec]
+            )
+            assert response.status == "completed"
+
+    def test_repeated_warm_request_is_identical(self, service):
+        cold = service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        warm = service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        assert not cold.warm
+        assert warm.warm
+        assert (
+            warm.result.configuration_signature()
+            == cold.result.configuration_signature()
+        )
+
+
+class TestWarmResidency:
+    def test_warm_tables_reused_across_requests(self, service):
+        cold = service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        warm = service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        assert cold.gauges["evaluation.warm_hits"] == 0
+        assert cold.gauges["evaluation.warm_misses"] > 0
+        assert warm.gauges["evaluation.warm_hits"] > 0
+        assert warm.gauges["evaluation.warm_misses"] == 0
+        assert warm.gauges["service.warm_table_hit_rate"] == 1.0
+        # The warm run needs zero backend what-if calls: every priced
+        # column comes from the resident store, every remaining lookup
+        # from the shared cache.
+        assert warm.gauges["whatif.calls"] == 0
+        assert service.statistics.warm_requests == 1
+
+    def test_warm_reuse_rises_in_service_gauges(self, service):
+        for _ in range(3):
+            service.recommend(
+                RecommendRequest(workload="w", budget_share=0.3)
+            )
+        gauges = service.gauges()
+        assert gauges["service.completed"] == 3
+        assert gauges["service.warm_requests"] == 2
+        assert gauges["service.warm_request_rate"] == pytest.approx(
+            2 / 3
+        )
+
+    def test_update_workload_resets_warm_tables(
+        self, service, small_workload
+    ):
+        service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        from repro.workload.query import Workload
+
+        shrunk = Workload(
+            small_workload.schema, list(small_workload)[:5]
+        )
+        registration = service.update_workload("w", shrunk)
+        assert registration.version == 2
+        response = service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        assert not response.warm
+        assert response.workload_version == 2
+
+
+class TestDeadlines:
+    def test_expired_deadline_degrades_instead_of_raising(
+        self, service
+    ):
+        response = service.recommend(
+            RecommendRequest(
+                workload="w", budget_share=0.3, deadline_s=0.0
+            )
+        )
+        assert response.status == "degraded"
+        assert response.degraded
+        assert service.statistics.degraded == 1
+
+    def test_default_deadline_applies(self, small_workload):
+        with AdvisorService(
+            small_workload.schema,
+            max_concurrency=1,
+            queue_depth=1,
+            default_deadline_s=0.0,
+        ) as service:
+            service.register_workload("w", small_workload)
+            response = service.recommend(
+                RecommendRequest(workload="w", budget_share=0.3)
+            )
+        assert response.status == "degraded"
+
+    def test_per_request_deadline_overrides_default(
+        self, small_workload
+    ):
+        with AdvisorService(
+            small_workload.schema,
+            max_concurrency=1,
+            queue_depth=1,
+            default_deadline_s=0.0,
+        ) as service:
+            service.register_workload("w", small_workload)
+            response = service.recommend(
+                RecommendRequest(
+                    workload="w", budget_share=0.3, deadline_s=60.0
+                )
+            )
+        assert response.status == "completed"
+
+
+class TestAdmissionControl:
+    def test_overload_raises_deterministically(self, small_workload):
+        gate = threading.Event()
+        source = _GateSource(small_workload.schema, gate)
+        service = AdvisorService(
+            small_workload.schema,
+            max_concurrency=1,
+            queue_depth=1,
+            cost_source=source,
+            cost_kernel="scalar",
+        )
+        try:
+            service.register_workload("w", small_workload)
+            request = RecommendRequest(
+                workload="w", budget_share=0.2
+            )
+            first = service.submit(request)   # executing (blocked)
+            second = service.submit(request)  # queued
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(request)       # over capacity
+            statistics = service.statistics
+            assert statistics.admitted == 2
+            assert statistics.rejected == 1
+            assert statistics.in_flight == 2
+        finally:
+            gate.set()
+            service.close()
+        assert first.result().status == "completed"
+        assert second.result().status == "completed"
+        assert service.statistics.in_flight == 0
+
+    def test_capacity_frees_after_completion(self, service):
+        request = RecommendRequest(workload="w", budget_share=0.3)
+        for _ in range(8):  # > capacity, but serially
+            service.recommend(request)
+        assert service.statistics.rejected == 0
+
+    def test_submit_validates_before_admission(self, service):
+        with pytest.raises(UnknownWorkloadError):
+            service.submit(
+                RecommendRequest(workload="nope", budget_share=0.3)
+            )
+        with pytest.raises(ExperimentError):
+            service.submit(
+                RecommendRequest(
+                    workload="w", budget_share=0.3, algorithm="magic"
+                )
+            )
+        with pytest.raises(ExperimentError):
+            service.submit(
+                RecommendRequest(
+                    workload="w",
+                    budget_share=0.3,
+                    cost_kernel="quantum",
+                )
+            )
+        assert service.statistics.admitted == 0
+
+    def test_closed_service_rejects_submits(self, small_workload):
+        service = AdvisorService(small_workload.schema)
+        service.register_workload("w", small_workload)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(
+                RecommendRequest(workload="w", budget_share=0.3)
+            )
+
+
+class TestStreaming:
+    def test_step_events_stream_with_request_id(self, service):
+        ticket = service.submit(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        events = list(ticket.stream.events(timeout_s=30.0))
+        response = ticket.result()
+        assert events
+        assert all(event["type"] == "step" for event in events)
+        assert all(
+            event["request_id"] == ticket.request_id
+            for event in events
+        )
+        chosen = [event for event in events if event.get("chosen")]
+        assert len(chosen) == len(response.result.steps)
+
+    def test_subscribe_finds_in_flight_request(self, small_workload):
+        gate = threading.Event()
+        source = _GateSource(small_workload.schema, gate)
+        service = AdvisorService(
+            small_workload.schema,
+            max_concurrency=1,
+            queue_depth=1,
+            cost_source=source,
+            cost_kernel="scalar",
+        )
+        try:
+            service.register_workload("w", small_workload)
+            ticket = service.submit(
+                RecommendRequest(workload="w", budget_share=0.2)
+            )
+            assert (
+                service.subscribe(ticket.request_id) is ticket.stream
+            )
+        finally:
+            gate.set()
+            service.close()
+        ticket.result()
+        with pytest.raises(ServiceError):
+            service.subscribe(ticket.request_id)  # finished → gone
+
+
+class TestObservability:
+    def test_response_gauges_cover_all_layers(self, service):
+        response = service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        gauges = response.gauges
+        for name in (
+            "service.admitted",
+            "service.queue_depth",
+            "service.wall_seconds",
+            "service.queue_seconds",
+            "service.warm",
+            "service.warm_table_hit_rate",
+            "service.breaker_state",
+            "whatif.calls",
+            "whatif.hit_rate",
+            "resilience.attempts",
+            "evaluation.rounds",
+            "evaluation.warm_hit_rate",
+            "kernel.batch_calls",
+        ):
+            assert name in gauges, name
+        assert gauges["service.breaker_state"] == 0
+
+    def test_response_to_dict_is_json_safe(self, service):
+        response = service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        payload = json.loads(json.dumps(response.to_dict()))
+        assert payload["workload"] == "w"
+        assert payload["status"] == "completed"
+        assert payload["indexes"]
+
+    def test_service_gauges_track_queue_and_peaks(self, service):
+        service.recommend(
+            RecommendRequest(workload="w", budget_share=0.3)
+        )
+        gauges = service.gauges()
+        assert gauges["service.queue_depth"] == 0
+        assert gauges["service.in_flight"] == 0
+        assert gauges["service.peak_in_flight"] >= 1
+        assert gauges["service.breaker_state"] == 0
+
+    def test_failed_request_counted_and_raised(self, small_workload):
+        class _BoomSource:
+            parallel_safe = True
+
+            def query_cost(self, query, index):
+                raise ValueError("boom")
+
+            def maintenance_cost(self, query, index):
+                raise ValueError("boom")
+
+            def multi_index_cost(self, query, indexes):
+                raise ValueError("boom")
+
+        with AdvisorService(
+            small_workload.schema,
+            max_concurrency=1,
+            queue_depth=1,
+            cost_source=_BoomSource(),
+            cost_kernel="scalar",
+        ) as service:
+            service.register_workload("w", small_workload)
+            ticket = service.submit(
+                RecommendRequest(workload="w", budget_share=0.3)
+            )
+            # Programming errors are not swallowed: the ticket
+            # re-raises, the failure is counted, capacity is released.
+            with pytest.raises(ValueError):
+                ticket.result(timeout_s=30.0)
+            statistics = service.statistics
+            assert statistics.failed == 1
+            assert statistics.in_flight == 0
+
+    def test_request_validation(self):
+        with pytest.raises(ExperimentError):
+            RecommendRequest(workload="", budget_share=0.3)
+        with pytest.raises(Exception):
+            RecommendRequest(
+                workload="w", budget_share=0.3, parallelism=0
+            )
+        with pytest.raises(Exception):
+            RecommendRequest(
+                workload="w", budget_share=0.3, deadline_s=-1.0
+            )

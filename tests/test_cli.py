@@ -151,6 +151,110 @@ class TestParser:
             main(["advise", "--algorithm", "magic"])
 
 
+class TestServe:
+    _BASE = [
+        "serve",
+        "--tables", "2",
+        "--attributes", "5",
+        "--queries", "5",
+        "--max-concurrency", "1",
+        "--queue-depth", "1",
+    ]
+
+    def _run(self, monkeypatch, capsys, argv, messages):
+        import io
+
+        lines = "\n".join(json.dumps(m) for m in messages) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        exit_code = main(argv)
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line
+        ]
+        return exit_code, responses, captured.err
+
+    def test_serve_loop_over_stdio(self, monkeypatch, capsys):
+        exit_code, responses, err = self._run(
+            monkeypatch,
+            capsys,
+            self._BASE,
+            [
+                {"id": 1, "op": "recommend",
+                 "workload": "appendix-c", "budget_share": 0.3},
+                {"id": 2, "op": "recommend",
+                 "workload": "appendix-c", "budget_share": 0.3},
+                {"id": 3, "op": "stats"},
+                {"id": 4, "op": "shutdown"},
+            ],
+        )
+        assert exit_code == 0
+        first, second, stats, shutdown = responses
+        assert first["ok"] and not first["warm"]
+        assert second["ok"] and second["warm"]
+        assert first["indexes"] == second["indexes"]
+        assert stats["gauges"]["service.completed"] == 2
+        assert shutdown["ok"]
+        # Humans read stderr; stdout stays pure protocol.
+        assert "repro serve" in err
+
+    def test_serve_shares_cost_flags_with_advise(
+        self, monkeypatch, capsys
+    ):
+        exit_code, responses, _ = self._run(
+            monkeypatch,
+            capsys,
+            self._BASE + [
+                "--cost-kernel", "scalar",
+                "--parallelism", "2",
+                "--default-deadline", "60",
+            ],
+            [
+                {"op": "recommend", "workload": "appendix-c",
+                 "budget_share": 0.3},
+                {"op": "shutdown"},
+            ],
+        )
+        assert exit_code == 0
+        response = responses[0]
+        assert response["ok"]
+        assert response["status"] == "completed"
+        # The CLI --parallelism default reaches the request.
+        assert response["gauges"]["evaluation.parallelism"] == 2
+
+    def test_serve_rejects_unknown_workload(self, monkeypatch, capsys):
+        exit_code, responses, _ = self._run(
+            monkeypatch,
+            capsys,
+            self._BASE,
+            [
+                {"op": "recommend", "workload": "nope",
+                 "budget_share": 0.3},
+                {"op": "shutdown"},
+            ],
+        )
+        assert exit_code == 0
+        assert responses[0]["error"] == "UnknownWorkloadError"
+
+    def test_serve_with_fault_injection(self, monkeypatch, capsys):
+        exit_code, responses, _ = self._run(
+            monkeypatch,
+            capsys,
+            self._BASE + ["--fault-rate", "0.2", "--fault-seed", "7"],
+            [
+                {"op": "recommend", "workload": "appendix-c",
+                 "budget_share": 0.3},
+                {"op": "shutdown"},
+            ],
+        )
+        assert exit_code == 0
+        response = responses[0]
+        assert response["ok"]
+        assert response["status"] == "completed"
+        assert response["gauges"]["resilience.attempts"] > 0
+
+
 class TestResilienceFlags:
     _BASE = [
         "advise",
