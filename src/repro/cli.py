@@ -32,17 +32,24 @@ Two subcommands:
   stdin/stdout (see docs/SERVICE.md), e.g.::
 
       python -m repro serve --workload tpcc --max-concurrency 4 \\
-          --queue-depth 8 --default-deadline 5
+          --queue-depth 8 --default-deadline 5 \\
+          --snapshot-dir /var/lib/repro --snapshot-interval 30
 
   The built-in workload is pre-registered under its name; clients then
   send one JSON object per line (``register``/``update``/``evict``/
-  ``recommend``/``stats``/``shutdown``).  Status chatter goes to
-  stderr — stdout carries only protocol lines.
+  ``recommend``/``stats``/``health``/``ready``/``snapshot``/
+  ``shutdown``).  Status chatter goes to stderr — stdout carries only
+  protocol lines.  With ``--snapshot-dir`` the daemon restores its
+  registrations and warm benefit tables from the last durable snapshot
+  at startup and persists them on the given interval and on shutdown;
+  SIGTERM triggers a graceful drain (finish or deadline-degrade
+  in-flight requests, final snapshot) and exit 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro.cophy.solver import CoPhyAlgorithm
@@ -311,9 +318,36 @@ def _serve(arguments: argparse.Namespace) -> int:
             backoff_base_s=0.0,
         ),
         cost_kernel=arguments.cost_kernel,
+        snapshot_dir=arguments.snapshot_dir,
+        snapshot_interval_s=arguments.snapshot_interval,
+        drain_timeout_s=arguments.drain_timeout,
     )
-    service.register_workload(arguments.workload, workload)
     # stdout is the protocol channel; humans read stderr.
+    report = service.restore_report
+    if report is not None and report.restored:
+        print(
+            f"repro serve: restored snapshot #{report.sequence} "
+            f"({report.workloads} workload(s), "
+            f"{report.warm_columns} warm column(s))",
+            file=sys.stderr,
+        )
+    elif report is not None and report.corrupt:
+        print(
+            f"repro serve: snapshot discarded ({report.reason}); "
+            "starting cold",
+            file=sys.stderr,
+        )
+    if arguments.workload in service.workloads():
+        # The snapshot already carries this registration (with its warm
+        # benefit tables); re-registering would raise and resetting it
+        # would throw the warmth away.
+        print(
+            f"repro serve: workload {arguments.workload!r} already "
+            "restored from snapshot; keeping the warm registration",
+            file=sys.stderr,
+        )
+    else:
+        service.register_workload(arguments.workload, workload)
     print(
         f"repro serve: workload {arguments.workload!r} registered "
         f"({workload.query_count} queries), "
@@ -322,6 +356,27 @@ def _serve(arguments: argparse.Namespace) -> int:
         f"default_deadline={arguments.default_deadline}",
         file=sys.stderr,
     )
+
+    def _handle_sigterm(signum, frame):
+        print(
+            "repro serve: SIGTERM received — draining "
+            "(in-flight requests finish or degrade, final snapshot)",
+            file=sys.stderr,
+        )
+        service.close(wait=True)
+        statistics = service.statistics
+        print(
+            f"repro serve: drained ({statistics.completed} completed, "
+            f"{statistics.degraded} degraded, "
+            f"{statistics.drain_forced} forced); exiting",
+            file=sys.stderr,
+        )
+        raise SystemExit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _handle_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     defaults = {"parallelism": arguments.parallelism}
     handled = serve_loop(
         service, sys.stdin, sys.stdout, request_defaults=defaults
@@ -475,6 +530,23 @@ def main(argv: list[str] | None = None) -> int:
         help="deadline for requests that carry none, measured from "
         "submission (default: unlimited); expired requests degrade to "
         "tagged best-so-far results",
+    )
+    serve.add_argument(
+        "--snapshot-dir", metavar="DIR", default=None,
+        help="directory for durable snapshots of registrations and "
+        "warm benefit tables; restored at startup when present "
+        "(default: durability off)",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=None,
+        metavar="SECONDS",
+        help="period of the background snapshot writer (default: "
+        "snapshot only on demand and on shutdown)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long a graceful drain waits for in-flight requests "
+        "before degrading and then force-resolving them (default 10)",
     )
     serve.set_defaults(handler=_serve)
 

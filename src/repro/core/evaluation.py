@@ -274,6 +274,23 @@ class WarmBenefitStore:
         with self._lock:
             self._memory.setdefault(attributes, memory)
 
+    def entries(
+        self,
+    ) -> tuple[tuple[tuple[int, ...], np.ndarray, np.ndarray], ...]:
+        """Stored ``(attributes, positions, costs)`` triples, sorted.
+
+        Deterministic order so durability snapshots of the same store
+        are byte-identical.  The arrays are the frozen (non-writeable)
+        store-internal ones — callers must not mutate them.
+        """
+        with self._lock:
+            return tuple(
+                (attributes, positions, costs)
+                for attributes, (positions, costs) in sorted(
+                    self._columns.items()
+                )
+            )
+
     def clear(self) -> None:
         """Drop every stored column (workload changed)."""
         with self._lock:

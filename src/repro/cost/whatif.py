@@ -127,6 +127,32 @@ class WhatIfStatistics:
         registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
 
 
+def _encode_index_key(tail):
+    """Index part of a cache key → JSON-safe nested lists.
+
+    ``None`` (sequential baseline) passes through; attribute tuples and
+    tuples of attribute tuples (multi-index entries) become lists.
+    """
+    if tail is None:
+        return None
+    return [
+        list(element) if isinstance(element, tuple) else element
+        for element in tail
+    ]
+
+
+def _decode_index_key(tail):
+    """Inverse of :func:`_encode_index_key` (lists back to tuples)."""
+    if tail is None:
+        return None
+    return tuple(
+        tuple(int(inner) for inner in element)
+        if isinstance(element, list)
+        else int(element)
+        for element in tail
+    )
+
+
 class WhatIfOptimizer:
     """Caching what-if optimizer.
 
@@ -258,6 +284,83 @@ class WhatIfOptimizer:
             return before - (
                 len(self._cache) + len(self._maintenance_cache)
             )
+
+    def export_cache(self, queries: Iterable[Query]) -> dict:
+        """JSON-safe snapshot of the cache entries owned by ``queries``.
+
+        Entries are keyed by the *position* of the owning query within
+        ``queries`` (not by its content key, which contains frozensets
+        and enums), plus the index part of the cache key encoded as
+        nested lists: ``None`` for the sequential baseline, a flat
+        attribute list for single-index costs, a list of attribute
+        lists for multi-index (Remark 2) entries.  Rows are sorted so
+        identical cache state serializes to identical bytes.
+        Counters are *not* exported — they describe facade usage in
+        this process, not cache contents.
+        """
+        positions: dict[tuple, int] = {}
+        for position, query in enumerate(queries):
+            positions.setdefault(query.cache_key, position)
+
+        def rows(cache: dict[tuple, float]) -> list:
+            selected = []
+            for (content_key, tail), value in cache.items():
+                position = positions.get(content_key)
+                if position is None:
+                    continue
+                selected.append(
+                    [position, _encode_index_key(tail), float(value)]
+                )
+            selected.sort(
+                key=lambda row: (row[0], repr(row[1]))
+            )
+            return selected
+
+        with self._lock:
+            return {
+                "cost": rows(self._cache),
+                "maintenance": rows(self._maintenance_cache),
+            }
+
+    def import_cache(
+        self, queries: Sequence[Query], entries: dict
+    ) -> int:
+        """Reinstall entries captured by :meth:`export_cache`.
+
+        ``queries`` must be the same sequence (same order) the export
+        was scoped to.  Existing entries win over imported ones
+        (``setdefault``), counters are untouched, and malformed rows
+        are skipped rather than raised — imports come from snapshots,
+        which are allowed to be wrong but never fatal.  Returns the
+        number of entries installed.
+        """
+        queries = tuple(queries)
+        installed = 0
+
+        def load(cache: dict[tuple, float], rows) -> int:
+            count = 0
+            for row in rows:
+                try:
+                    position, tail, value = row
+                    position = int(position)
+                    if not 0 <= position < len(queries):
+                        continue
+                    query = queries[position]
+                    key = (query.cache_key, _decode_index_key(tail))
+                    cost = float(value)
+                except (IndexError, TypeError, ValueError):
+                    continue
+                if key not in cache:
+                    cache[key] = cost
+                    count += 1
+            return count
+
+        with self._lock:
+            installed += load(self._cache, entries.get("cost", ()))
+            installed += load(
+                self._maintenance_cache, entries.get("maintenance", ())
+            )
+        return installed
 
     # ------------------------------------------------------------------
     # Cost queries

@@ -128,11 +128,56 @@ class ServiceOverloadedError(ServiceError):
     in-flight requests.  Fail-fast by design: under overload, clients
     should back off (or retry elsewhere) instead of queueing unboundedly
     behind requests whose deadlines they will inherit.
+
+    ``retry_after_s`` is the service's backoff hint: the estimated
+    seconds until an admission slot frees up, derived from the current
+    queue depth and the mean recent request latency.  ``None`` when the
+    raising side has no estimate.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining (graceful shutdown) and admits nothing.
+
+    Unlike :class:`ServiceOverloadedError` this is not a transient
+    backpressure signal — the daemon is going away; clients should
+    reconnect elsewhere rather than retry here.
     """
 
 
 class UnknownWorkloadError(ServiceError):
     """A request referenced a workload name that is not registered."""
+
+
+class UnknownOperationError(ServiceError):
+    """A protocol message named an operation the daemon does not speak."""
+
+
+class WatchdogTimeoutError(ServiceError):
+    """The per-request watchdog cancelled a request.
+
+    Raised (as the terminal outcome of a request's future) when a
+    worker exceeded the request deadline by more than the watchdog
+    grace period — typically a cost-backend call that hung instead of
+    failing.  The worker thread is abandoned and replaced so the pool
+    slot is never wedged.
+    """
+
+
+class SnapshotError(ServiceError):
+    """A durability snapshot could not be written or was requested
+    without a configured snapshot directory.
+
+    Note that *restore* failures never raise: a corrupt or version-skewed
+    snapshot is logged, discarded, and counted — the service falls back
+    to a cold start instead of refusing to boot.
+    """
 
 
 class TelemetryError(ReproError):

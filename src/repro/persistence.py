@@ -7,8 +7,8 @@ benchmark run.  This module serializes the core value objects to plain
 JSON (no pickle — artifacts stay portable, diffable, and safe to load).
 
 Round-trip guarantees are exact: ``load_x(dump_x(value)) == value`` for
-every supported type (selection results round-trip everything except the
-construction-step trace, which is derived data).
+every supported type, including the construction-step trace and status
+of degraded selection results.
 """
 
 from __future__ import annotations
@@ -16,7 +16,12 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.core.steps import STATUS_COMPLETED, SelectionResult
+from repro.core.steps import (
+    STATUS_COMPLETED,
+    ConstructionStep,
+    SelectionResult,
+    StepKind,
+)
 from repro.exceptions import ReproError
 from repro.indexes.configuration import IndexConfiguration
 from repro.indexes.index import Index
@@ -32,6 +37,8 @@ __all__ = [
     "configuration_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "step_to_dict",
+    "step_from_dict",
     "save_json",
     "load_json",
 ]
@@ -142,8 +149,56 @@ def configuration_from_dict(data: dict[str, Any]) -> IndexConfiguration:
     )
 
 
+def _index_to_dict(index: Index | None) -> dict[str, Any] | None:
+    if index is None:
+        return None
+    return {
+        "table": index.table_name,
+        "attributes": list(index.attributes),
+    }
+
+
+def _index_from_dict(data: dict[str, Any] | None) -> Index | None:
+    if data is None:
+        return None
+    return Index(data["table"], tuple(data["attributes"]))
+
+
+def step_to_dict(step: ConstructionStep) -> dict[str, Any]:
+    """Serialize one construction step."""
+    return {
+        "step_number": step.step_number,
+        "kind": step.kind.value,
+        "index_before": _index_to_dict(step.index_before),
+        "index_after": _index_to_dict(step.index_after),
+        "cost_before": step.cost_before,
+        "cost_after": step.cost_after,
+        "memory_before": step.memory_before,
+        "memory_after": step.memory_after,
+    }
+
+
+def step_from_dict(data: dict[str, Any]) -> ConstructionStep:
+    """Deserialize one construction step."""
+    return ConstructionStep(
+        step_number=data["step_number"],
+        kind=StepKind(data["kind"]),
+        index_before=_index_from_dict(data["index_before"]),
+        index_after=_index_from_dict(data["index_after"]),
+        cost_before=data["cost_before"],
+        cost_after=data["cost_after"],
+        memory_before=data["memory_before"],
+        memory_after=data["memory_after"],
+    )
+
+
 def result_to_dict(result: SelectionResult) -> dict[str, Any]:
-    """Serialize a selection result (without the step trace)."""
+    """Serialize a selection result, step trace included.
+
+    The trace matters most for *degraded* results: which steps were
+    taken before the deadline (or a drain) cut the run short is the
+    part a post-mortem needs, so it must survive the round-trip.
+    """
     return {
         "version": _FORMAT_VERSION,
         "algorithm": result.algorithm,
@@ -155,6 +210,7 @@ def result_to_dict(result: SelectionResult) -> dict[str, Any]:
         "whatif_calls": result.whatif_calls,
         "reconfiguration_cost": result.reconfiguration_cost,
         "status": result.status,
+        "steps": [step_to_dict(step) for step in result.steps],
     }
 
 
@@ -171,8 +227,12 @@ def result_from_dict(data: dict[str, Any]) -> SelectionResult:
         whatif_calls=data["whatif_calls"],
         reconfiguration_cost=data["reconfiguration_cost"],
         # Artifacts written before the resilience layer carry no status;
-        # those runs by construction finished normally.
+        # those runs by construction finished normally.  Ones written
+        # before step serialization simply carry an empty trace.
         status=data.get("status", STATUS_COMPLETED),
+        steps=tuple(
+            step_from_dict(entry) for entry in data.get("steps", ())
+        ),
     )
 
 

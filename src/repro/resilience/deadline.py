@@ -83,6 +83,24 @@ class Deadline:
             return False
         return self._clock() >= self._expires_at
 
+    @property
+    def expires_at(self) -> float | None:
+        """The expiry instant on this deadline's clock (``None`` =
+        unlimited)."""
+        return self._expires_at
+
+    def expire_now(self) -> None:
+        """Force expiry at the current instant (cooperative cancel).
+
+        A draining service calls this on every in-flight request so the
+        running algorithms degrade to best-so-far at their next step
+        boundary instead of running to natural completion.  Idempotent;
+        never un-expires an already expired deadline.
+        """
+        now = self._clock()
+        if self._expires_at is None or self._expires_at > now:
+            self._expires_at = now
+
     def remaining(self) -> float:
         """Seconds left (``inf`` when unlimited, clamped at 0.0)."""
         if self._expires_at is None:

@@ -14,27 +14,68 @@ Operations (``"op"`` key)::
     {"op": "recommend", "workload": "w1", "budget_share": 0.3,
      "algorithm": "extend", "deadline_s": 2.0, "stream": true}
     {"op": "stats"}
+    {"op": "health"}
+    {"op": "ready"}
+    {"op": "snapshot"}
     {"op": "shutdown"}
 
 ``queries`` entries are SQL template strings or ``[sql, frequency]``
 pairs.  Every response carries ``"ok"`` plus an echoed ``"id"`` when
-the request had one.  With ``"stream": true`` a recommend emits each
-step event as ``{"ok": true, "op": "event", ...}`` lines before the
-final response, so a client sees the construction frontier live.
+the request had one — including error responses: even a line that does
+not parse as JSON has its ``"id"`` salvaged textually when possible,
+so request/response correlation survives malformed input.  With
+``"stream": true`` a recommend emits each step event as
+``{"ok": true, "op": "event", ...}`` lines before the final response,
+so a client sees the construction frontier live.
+
 Errors never kill the loop: they come back as
-``{"ok": false, "error": <class>, "message": ...}`` —
-``ServiceOverloadedError`` is the backpressure signal.
+``{"ok": false, "error": <class>, "code": <stable-tag>, "message": ...}``.
+``error`` is the Python class name (informative, may change);
+``code`` is the machine-stable tag clients should switch on::
+
+    parse_error        line was not valid JSON
+    invalid_request    parsed, but the request is malformed or invalid
+    unknown_op         the "op" value is not an operation the daemon speaks
+    unknown_workload   referenced workload name is not registered
+    overloaded         admission queue full (carries "retry_after_s")
+    draining           service is shutting down gracefully
+    watchdog_timeout   the watchdog cancelled the request
+    snapshot_error     a durability snapshot failed
+    invalid_budget     the memory budget is invalid
+    deadline_exceeded  an explicit deadline check fired
+    internal_error     anything else (a bug — report it)
+
+``overloaded`` errors carry ``retry_after_s``, the service's estimate
+of seconds until an admission slot frees up; well-behaved clients
+sleep that long before retrying.
+
+A client that disconnects (broken pipe on our stdout) ends the loop
+gracefully: in-flight streamed requests are still driven to their
+terminal outcome (so service counters stay consistent), nothing is
+emitted to the dead pipe, and the service shuts down as usual.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import IO
 
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import (
+    BudgetError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceDrainingError,
+    ServiceError,
+    ServiceOverloadedError,
+    SnapshotError,
+    UnknownOperationError,
+    UnknownWorkloadError,
+    WatchdogTimeoutError,
+)
 from repro.service.request import RecommendRequest
 
-__all__ = ["serve_loop"]
+__all__ = ["error_code", "serve_loop"]
 
 _REQUEST_FIELDS = (
     "workload",
@@ -47,6 +88,66 @@ _REQUEST_FIELDS = (
     "candidate_width",
     "request_id",
 )
+
+# Most-derived classes first; resolution walks the error's MRO, so a
+# new ServiceError subclass automatically degrades to "invalid_request"
+# until it gets a code of its own.
+_CODE_BY_TYPE: dict[type, str] = {
+    json.JSONDecodeError: "parse_error",
+    UnknownOperationError: "unknown_op",
+    UnknownWorkloadError: "unknown_workload",
+    ServiceOverloadedError: "overloaded",
+    ServiceDrainingError: "draining",
+    WatchdogTimeoutError: "watchdog_timeout",
+    SnapshotError: "snapshot_error",
+    BudgetError: "invalid_budget",
+    DeadlineExceededError: "deadline_exceeded",
+    TypeError: "invalid_request",
+    ReproError: "invalid_request",
+}
+
+# Textual "id" salvage for lines that fail JSON parsing: string or
+# numeric values only, good enough to correlate an error response with
+# the (malformed) request that caused it.
+_ID_SALVAGE = re.compile(
+    r'"id"\s*:\s*("(?:[^"\\]|\\.)*"|-?\d+(?:\.\d+)?)'
+)
+
+
+class _ClientDisconnected(Exception):
+    """Our output pipe is gone; stop serving (module-internal)."""
+
+
+def error_code(error: BaseException) -> str:
+    """The stable protocol ``code`` tag for an exception."""
+    for cls in type(error).__mro__:
+        code = _CODE_BY_TYPE.get(cls)
+        if code is not None:
+            return code
+    return "internal_error"
+
+
+def _error_payload(error: BaseException) -> dict:
+    payload = {
+        "ok": False,
+        "error": type(error).__name__,
+        "code": error_code(error),
+        "message": str(error),
+    }
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is not None:
+        payload["retry_after_s"] = retry_after
+    return payload
+
+
+def _salvage_id(line: str):
+    match = _ID_SALVAGE.search(line)
+    if match is None:
+        return None
+    try:
+        return json.loads(match.group(1))
+    except json.JSONDecodeError:  # pragma: no cover - regex is stricter
+        return None
 
 
 def _queries(message: dict) -> list:
@@ -131,8 +232,15 @@ def _handle(
         request = _recommend_request(message, defaults)
         if message.get("stream"):
             ticket = service.submit(request)
-            for event in ticket.stream.events():
-                emit({"ok": True, "op": "event", **event})
+            try:
+                for event in ticket.stream.events():
+                    emit({"ok": True, "op": "event", **event})
+            except _ClientDisconnected:
+                # Nobody left to tell, but the admitted request must
+                # still reach its terminal outcome before we tear the
+                # service down, or its slot accounting would be torn.
+                ticket.outcome()
+                raise
             response = ticket.result()
         else:
             response = service.recommend(request)
@@ -146,11 +254,25 @@ def _handle(
                 "gauges": service.gauges(),
             }
         )
+    elif op == "health":
+        emit({"ok": True, "op": op, **service.health()})
+    elif op == "ready":
+        emit({"ok": True, "op": op, **service.ready()})
+    elif op == "snapshot":
+        path = service.snapshot_now()
+        emit(
+            {
+                "ok": True,
+                "op": op,
+                "path": str(path),
+                "sequence": service.statistics.snapshot_sequence,
+            }
+        )
     elif op == "shutdown":
         emit({"ok": True, "op": op})
         return False
     else:
-        raise ServiceError(f"unknown op {op!r}")
+        raise UnknownOperationError(f"unknown op {op!r}")
     return True
 
 
@@ -166,7 +288,8 @@ def serve_loop(
     ``request_defaults`` pre-fills recommend-request fields (e.g. the
     CLI's ``--parallelism``) that individual messages may override.
     Returns the number of messages handled.  The service is closed on
-    exit (waiting for in-flight requests), whatever ended the loop.
+    exit (draining in-flight requests), whatever ended the loop — end
+    of input, a ``shutdown`` op, or the client's disconnect.
     """
     handled = 0
     try:
@@ -178,34 +301,27 @@ def serve_loop(
             correlation = None
             emit = _emitter(output_stream, lambda: correlation)
             try:
-                message = json.loads(line)
-                if not isinstance(message, dict):
-                    raise ServiceError(
-                        "each input line must be a JSON object"
-                    )
-                correlation = message.get("id")
-                if not _handle(
-                    service, message, emit, request_defaults
-                ):
-                    break
-            except json.JSONDecodeError as error:
-                emit(
-                    {
-                        "ok": False,
-                        "error": "JSONDecodeError",
-                        "message": str(error),
-                    }
-                )
-            except (ReproError, TypeError) as error:
-                # TypeError covers unexpected RecommendRequest fields;
-                # anything else is a genuine bug and should crash loud.
-                emit(
-                    {
-                        "ok": False,
-                        "error": type(error).__name__,
-                        "message": str(error),
-                    }
-                )
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ServiceError(
+                            "each input line must be a JSON object"
+                        )
+                    correlation = message.get("id")
+                    if not _handle(
+                        service, message, emit, request_defaults
+                    ):
+                        break
+                except json.JSONDecodeError as error:
+                    correlation = _salvage_id(line)
+                    emit(_error_payload(error))
+                except (ReproError, TypeError) as error:
+                    # TypeError covers unexpected RecommendRequest
+                    # fields; anything else is a genuine bug and
+                    # should crash loud.
+                    emit(_error_payload(error))
+            except _ClientDisconnected:
+                break
     finally:
         service.close()
     return handled
@@ -216,9 +332,14 @@ def _emitter(output_stream: IO[str], correlation):
         identifier = correlation()
         if identifier is not None:
             payload = {"id": identifier, **payload}
-        json.dump(payload, output_stream, separators=(",", ":"))
-        output_stream.write("\n")
-        output_stream.flush()
+        try:
+            json.dump(payload, output_stream, separators=(",", ":"))
+            output_stream.write("\n")
+            output_stream.flush()
+        except (BrokenPipeError, ValueError) as error:
+            # BrokenPipeError: the reader hung up.  ValueError: the
+            # stream object was closed under us.  Either way the
+            # client is gone.
+            raise _ClientDisconnected(str(error)) from error
 
     return emit
-

@@ -75,6 +75,16 @@ class WorkloadRegistry:
         with self._lock:
             return tuple(sorted(self._registrations))
 
+    def registrations(self) -> tuple[WorkloadRegistration, ...]:
+        """All registrations, sorted by name (for snapshots)."""
+        with self._lock:
+            return tuple(
+                registration
+                for _, registration in sorted(
+                    self._registrations.items()
+                )
+            )
+
     def get(self, name: str) -> WorkloadRegistration:
         with self._lock:
             registration = self._registrations.get(name)
@@ -98,6 +108,42 @@ class WorkloadRegistry:
                 )
             registration = WorkloadRegistration(
                 name=name, workload=workload
+            )
+            self._registrations[name] = registration
+            return registration
+
+    def restore(
+        self,
+        name: str,
+        workload: Workload,
+        *,
+        version: int,
+        served: int = 0,
+    ) -> WorkloadRegistration:
+        """Reinstall a registration from a durability snapshot.
+
+        Unlike :meth:`register` the restored registration keeps its
+        pre-crash version (so clients correlating on
+        ``workload_version`` see continuity) and served count.  Only
+        valid into a name that is not currently registered — restore
+        happens at service startup, before any client traffic.
+        """
+        self._check_schema(workload)
+        if version < 1:
+            raise ServiceError(
+                f"restored version must be >= 1, got {version}"
+            )
+        with self._lock:
+            if name in self._registrations:
+                raise ServiceError(
+                    f"workload {name!r} is already registered; "
+                    "cannot restore over it"
+                )
+            registration = WorkloadRegistration(
+                name=name,
+                workload=workload,
+                version=version,
+                served=served,
             )
             self._registrations[name] = registration
             return registration

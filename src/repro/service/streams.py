@@ -26,6 +26,20 @@ class EventStream:
         self._records: list[dict] = []
         self._condition = threading.Condition()
         self._finished = False
+        self._subscribers: set[object] = set()
+
+    @property
+    def subscribers(self) -> int:
+        """Live :meth:`events` iterations over this stream.
+
+        A subscriber counts from the iterator's first ``next()`` until
+        it is exhausted, times out, or is closed — including closure by
+        a client that disconnected mid-stream.  The chaos harness
+        asserts this returns to zero after every scenario; a non-zero
+        count with no live clients is a subscription leak.
+        """
+        with self._condition:
+            return len(self._subscribers)
 
     @property
     def finished(self) -> bool:
@@ -58,21 +72,36 @@ class EventStream:
         ``timeout_s`` bounds each *wait* for the next record (not the
         whole iteration); on a timed-out wait the iterator stops early,
         which keeps protocol clients from hanging on a stuck worker.
+
+        The subscription is dropped however the iteration ends —
+        exhaustion, timeout, or generator close (a disconnecting client
+        triggers ``GeneratorExit`` through the ``finally``), so dead
+        clients never accumulate as phantom subscribers.
         """
-        position = 0
-        while True:
-            with self._condition:
-                while (
-                    position >= len(self._records)
-                    and not self._finished
-                ):
-                    if not self._condition.wait(timeout=timeout_s):
+        token = object()
+        with self._condition:
+            self._subscribers.add(token)
+        try:
+            position = 0
+            while True:
+                with self._condition:
+                    while (
+                        position >= len(self._records)
+                        and not self._finished
+                    ):
+                        if not self._condition.wait(timeout=timeout_s):
+                            return
+                    if (
+                        position >= len(self._records)
+                        and self._finished
+                    ):
                         return
-                if position >= len(self._records) and self._finished:
-                    return
-                record = self._records[position]
-            position += 1
-            yield record
+                    record = self._records[position]
+                position += 1
+                yield record
+        finally:
+            with self._condition:
+                self._subscribers.discard(token)
 
 
 class StreamSink:

@@ -170,14 +170,20 @@ class TestErrors:
             bogus, no_budget, stats, _ = responses
         assert not bad_json["ok"]
         assert bad_json["error"] == "JSONDecodeError"
+        assert bad_json["code"] == "parse_error"
         assert not unknown_op["ok"]
-        assert unknown_op["error"] == "ServiceError"
+        assert unknown_op["error"] == "UnknownOperationError"
+        assert unknown_op["code"] == "unknown_op"
+        assert unknown_op["id"] == 2
         assert unknown_workload["error"] == "UnknownWorkloadError"
+        assert unknown_workload["code"] == "unknown_workload"
         assert missing_queries["error"] == "ServiceError"
+        assert missing_queries["code"] == "invalid_request"
         # Unknown fields are ignored (forward compatibility of the
         # line protocol): the request still runs.
         assert bogus["ok"]
         assert no_budget["error"] == "BudgetError"
+        assert no_budget["code"] == "invalid_budget"
         assert stats["ok"]
 
     def test_non_object_line_is_an_error(self, service):
@@ -187,6 +193,7 @@ class TestErrors:
         assert responses[0] == {
             "ok": False,
             "error": "ServiceError",
+            "code": "invalid_request",
             "message": "each input line must be a JSON object",
         }
 

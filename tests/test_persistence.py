@@ -107,19 +107,73 @@ class TestConfigurationRoundTrip:
 
 
 class TestResultRoundTrip:
-    def test_exact_except_steps(self, tiny_workload, tiny_optimizer):
+    def test_exact(self, tiny_workload, tiny_optimizer):
         budget = relative_budget(tiny_workload.schema, 0.4)
         result = ExtendAlgorithm(tiny_optimizer).select(
             tiny_workload, budget
         )
         restored = result_from_dict(result_to_dict(result))
-        assert restored.algorithm == result.algorithm
+        # Algorithms may return SelectionResult subclasses (ExtendResult),
+        # so compare serialized content, not dataclass identity.
+        assert result_to_dict(restored) == result_to_dict(result)
         assert restored.configuration == result.configuration
         assert restored.total_cost == result.total_cost
-        assert restored.memory == result.memory
-        assert restored.budget == result.budget
-        assert restored.whatif_calls == result.whatif_calls
-        assert restored.steps == ()  # trace is not persisted
+        assert restored.steps == result.steps
+
+    def test_step_trace_round_trips_exactly(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        assert result.steps  # Extend always records its construction
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.steps == result.steps
+        for original, clone in zip(result.steps, restored.steps):
+            assert clone.kind is original.kind
+            assert clone.ratio == original.ratio
+
+    def test_degraded_result_with_steps_round_trips(
+        self, tiny_workload, tiny_optimizer
+    ):
+        """The satellite contract: a degraded result — status, step
+        trace, and configuration signature — survives persistence
+        exactly, so post-mortems of deadline-cut runs see precisely
+        what the service saw."""
+        import dataclasses
+
+        from repro.core.steps import STATUS_DEGRADED
+
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        complete = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        # A degraded run is a prefix of the full construction.
+        result = dataclasses.replace(
+            complete,
+            status=STATUS_DEGRADED,
+            steps=complete.steps[:-1] if complete.steps else (),
+        )
+        restored = result_from_dict(result_to_dict(result))
+        assert result_to_dict(restored) == result_to_dict(result)
+        assert restored.degraded
+        assert restored.steps == result.steps
+        assert (
+            restored.configuration_signature()
+            == result.configuration_signature()
+        )
+
+    def test_pre_step_artifacts_default_to_empty_trace(
+        self, tiny_workload, tiny_optimizer
+    ):
+        budget = relative_budget(tiny_workload.schema, 0.4)
+        result = ExtendAlgorithm(tiny_optimizer).select(
+            tiny_workload, budget
+        )
+        data = result_to_dict(result)
+        del data["steps"]  # artifact written before step persistence
+        assert result_from_dict(data).steps == ()
 
 
 class TestFiles:
