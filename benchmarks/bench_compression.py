@@ -3,9 +3,31 @@
 Measures the time/fidelity trade-off of selecting indexes on a
 compressed workload: solve time must drop with the template count while
 the selection still captures the bulk of the full-workload improvement.
+
+Also usable standalone for the CI regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_compression.py                # print table
+    PYTHONPATH=src python benchmarks/bench_compression.py --check       # compare vs baseline
+    PYTHONPATH=src python benchmarks/bench_compression.py --write-baseline
+
+``--check`` gates the deterministic compression shapes of the
+``pricing_prepass`` on the Fig. 4 enterprise workload (template counts
+before/after merging, templates surviving the 80 % frequency-share
+cutoff) against the committed baseline
+(``baselines/compression_fig4.json``) at 10% tolerance — catching
+generator or compression drift that silently changes how much of the
+enterprise pricing path the pre-pass removes.  Merge losslessness
+(total weighted cost preserved to 1e-9) is asserted outright, never
+baselined.
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 from repro.core.extend import ExtendAlgorithm
 from repro.cost.model import CostModel
@@ -14,8 +36,71 @@ from repro.indexes.memory import relative_budget
 from repro.workload.compression import (
     frequency_share,
     merge_duplicate_templates,
+    pricing_prepass,
     top_k_expensive,
 )
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    generate_enterprise_workload,
+)
+
+BASELINE_PATH = (
+    Path(__file__).parent / "baselines" / "compression_fig4.json"
+)
+TOLERANCE = 0.10
+SCALE = 0.3
+SHARE = 0.8
+REL_TOLERANCE = 1e-9
+
+GATED_METRICS = (
+    "templates_before",
+    "templates_after_merge",
+    "merged_templates",
+    "templates_after_share",
+)
+
+
+def measure() -> dict:
+    """Prepass shapes + merge losslessness on the Fig. 4 workload."""
+    workload = generate_enterprise_workload(
+        EnterpriseConfig(scale=SCALE)
+    )
+    optimizer = WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+
+    start = time.perf_counter()
+    merged, merge_report = pricing_prepass(workload)
+    merge_seconds = time.perf_counter() - start
+
+    # Losslessness of the merge stage: the no-index weighted cost must
+    # be bit-for-bit preserved up to float association.
+    full_cost = optimizer.workload_cost(workload, ())
+    merged_cost = optimizer.workload_cost(merged, ())
+    relative = abs(full_cost - merged_cost) / max(abs(full_cost), 1e-300)
+    if relative > REL_TOLERANCE:
+        raise AssertionError(
+            f"duplicate merge changed the total weighted cost by "
+            f"{relative:.3e} (> {REL_TOLERANCE:.0e}) — it must be "
+            "lossless"
+        )
+
+    start = time.perf_counter()
+    _, share_report = pricing_prepass(
+        workload, optimizer, share=SHARE
+    )
+    share_seconds = time.perf_counter() - start
+
+    return {
+        "templates_before": merge_report.templates_before,
+        "templates_after_merge": merge_report.templates_after,
+        "merged_templates": merge_report.merged,
+        "templates_after_share": share_report.templates_after,
+        "share_dropped": share_report.dropped,
+        "merge_relative_error": relative,
+        "merge_seconds": round(merge_seconds, 4),
+        "share_seconds": round(share_seconds, 4),
+    }
 
 
 def test_compression_speedup(benchmark, bench_workload):
@@ -70,3 +155,108 @@ def test_frequency_share_compression_ratio(benchmark, bench_workload, bench_opti
         lambda: frequency_share(bench_workload, bench_optimizer, 0.8)
     )
     assert compressed.query_count < bench_workload.query_count
+
+
+def test_prepass_shapes_within_committed_baseline(benchmark):
+    """Regression gate: prepass shapes stay within 10% of baseline."""
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    failures = compare_to_baseline(results)
+    assert not failures, "\n".join(failures)
+
+
+# ----------------------------------------------------------------------
+# standalone CLI (CI regression gate)
+# ----------------------------------------------------------------------
+
+
+def compare_to_baseline(results: dict) -> list[str]:
+    """Non-empty list of violation messages when shapes drifted."""
+    if not BASELINE_PATH.exists():
+        return [
+            f"missing baseline {BASELINE_PATH}; run with --write-baseline"
+        ]
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    failures = []
+    for metric in GATED_METRICS:
+        reference = baseline["metrics"].get(metric)
+        if reference is None:
+            failures.append(f"{metric}: not in committed baseline")
+            continue
+        low = reference * (1 - TOLERANCE)
+        high = reference * (1 + TOLERANCE)
+        if not low <= results[metric] <= high:
+            failures.append(
+                f"{metric}: {results[metric]} outside "
+                f"[{low:.0f}, {high:.0f}] "
+                f"(baseline {reference} +/- {TOLERANCE:.0%})"
+            )
+    return failures
+
+
+def _print_table(results: dict) -> None:
+    print(
+        f"{'before':>8} {'merged':>8} {'after':>8} {'share80':>8} "
+        f"{'merge':>9} {'share':>9} {'rel err':>10}"
+    )
+    print(
+        f"{results['templates_before']:>8} "
+        f"{results['merged_templates']:>8} "
+        f"{results['templates_after_merge']:>8} "
+        f"{results['templates_after_share']:>8} "
+        f"{results['merge_seconds']:>8.3f}s "
+        f"{results['share_seconds']:>8.3f}s "
+        f"{results['merge_relative_error']:>10.2e}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when prepass shapes drift vs the committed baseline",
+    )
+    group.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the committed baseline from the current run",
+    )
+    arguments = parser.parse_args(argv)
+
+    results = measure()
+    _print_table(results)
+
+    if arguments.write_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "workload": (
+                        f"fig4 enterprise scale={SCALE}, "
+                        f"prepass share={SHARE}, seed 500"
+                    ),
+                    "tolerance": TOLERANCE,
+                    "metrics": {
+                        metric: results[metric]
+                        for metric in GATED_METRICS
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if arguments.check:
+        failures = compare_to_baseline(results)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

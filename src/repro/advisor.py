@@ -30,6 +30,7 @@ from repro.core.localsearch import swap_local_search
 from repro.core.steps import STATUS_DEGRADED, SelectionResult
 from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
+from repro.cost.shard import ShardedCostSource
 from repro.cost.whatif import (
     AnalyticalCostSource,
     CostSource,
@@ -62,6 +63,7 @@ from repro.telemetry import (
     Telemetry,
     TelemetrySnapshot,
 )
+from repro.workload.compression import pricing_prepass
 from repro.workload.query import Query, Workload
 from repro.workload.schema import Schema
 from repro.workload.sql import workload_from_sql
@@ -88,7 +90,7 @@ ALGORITHMS = (
     "h5",
 )
 
-COST_KERNELS = ("scalar", "vectorized")
+COST_KERNELS = ("scalar", "vectorized", "sharded")
 
 # Backwards-compatible aliases (pre-service private names).
 _ALGORITHMS = ALGORITHMS
@@ -134,6 +136,9 @@ class KernelStacks:
         analytic source itself (infallible, no fallbacks needed).
     policy:
         Default retry/breaker policy for the resilient wrappers.
+    shards:
+        Worker-process count for the ``"sharded"`` kernel flavour
+        (``None`` = machine default); ignored by the other flavours.
     """
 
     def __init__(
@@ -142,10 +147,12 @@ class KernelStacks:
         *,
         cost_source: CostSource | None = None,
         policy: ResiliencePolicy | None = None,
+        shards: int | None = None,
     ) -> None:
         self._schema = schema
         self._cost_source = cost_source
         self._policy = policy
+        self._shards = shards
         self._analytic: dict[str, CostSource] = {}
         self._stacks: dict[
             str, tuple[ResilientCostSource, WhatIfOptimizer]
@@ -162,6 +169,10 @@ class KernelStacks:
         if source is None:
             if kernel == "vectorized":
                 source = VectorizedCostSource(self._schema)
+            elif kernel == "sharded":
+                source = ShardedCostSource(
+                    self._schema, shards=self._shards
+                )
             else:
                 source = AnalyticalCostSource(CostModel(self._schema))
             self._analytic[kernel] = source
@@ -204,9 +215,41 @@ class KernelStacks:
             resilient.policy = policy
 
     def vectorized_statistics(self):
-        """``KernelStatistics`` of the compiled kernel, if built yet."""
+        """``KernelStatistics`` of the compiled kernel, if built yet.
+
+        When only the sharded flavour is built, its in-process kernel's
+        statistics are reported instead (same counter shape)."""
         source = self._analytic.get("vectorized")
+        if source is not None:
+            return source.statistics
+        sharded = self._analytic.get("sharded")
+        return None if sharded is None else sharded.kernel_statistics
+
+    def shard_source(self) -> ShardedCostSource | None:
+        """The sharded backend, if that flavour was built yet."""
+        source = self._analytic.get("sharded")
+        return source if isinstance(source, ShardedCostSource) else None
+
+    def shard_statistics(self):
+        """``ShardStatistics`` of the sharded backend, if built yet."""
+        source = self.shard_source()
         return None if source is None else source.statistics
+
+    def reset_shard_pool(self) -> None:
+        """Drop the shard worker pool (watchdog hook); it rebuilds
+        lazily on the next large batch."""
+        source = self.shard_source()
+        if source is not None:
+            source.reset_pool()
+
+    def close(self) -> None:
+        """Release process-level resources (the shard worker pool).
+
+        The stacks stay usable — a later call lazily rebuilds the
+        pool — so this is safe to call from service drain/close."""
+        source = self.shard_source()
+        if source is not None:
+            source.close()
 
 
 def run_selection(
@@ -367,10 +410,16 @@ class IndexAdvisor:
         ``recommend(resilience=...)``.
     cost_kernel:
         Default analytic backend flavour: ``"vectorized"`` (the
-        compiled batch kernel of :mod:`repro.cost.kernel`, default) or
-        ``"scalar"`` (the pure-Python :class:`CostModel`).  Both price
-        every pair within 1e-9 relative tolerance of each other;
+        compiled batch kernel of :mod:`repro.cost.kernel`, default),
+        ``"scalar"`` (the pure-Python :class:`CostModel`), or
+        ``"sharded"`` (the process-pool backend of
+        :mod:`repro.cost.shard` for whole-enterprise sweeps).  All
+        flavours price every pair within 1e-9 relative tolerance of
+        each other (sharded is bit-identical to vectorized);
         overridable per call via ``recommend(cost_kernel=...)``.
+    shards:
+        Worker-process count for the sharded kernel (``None`` =
+        machine default, clamped to [2, 8]); ignored otherwise.
     """
 
     def __init__(
@@ -381,6 +430,7 @@ class IndexAdvisor:
         cost_source: CostSource | None = None,
         resilience: ResiliencePolicy | None = None,
         cost_kernel: str = "vectorized",
+        shards: int | None = None,
     ) -> None:
         if cost_kernel not in _COST_KERNELS:
             raise ExperimentError(
@@ -390,7 +440,10 @@ class IndexAdvisor:
         self._schema = schema
         self._default_kernel = cost_kernel
         self._kernel_stacks = KernelStacks(
-            schema, cost_source=cost_source, policy=resilience
+            schema,
+            cost_source=cost_source,
+            policy=resilience,
+            shards=shards,
         )
         self._resilient, self._optimizer = self._kernel_stacks.stack(
             cost_kernel
@@ -416,6 +469,16 @@ class IndexAdvisor:
     def resilience(self) -> ResilientCostSource:
         """The resilient cost backend (breaker, retry counters)."""
         return self._resilient
+
+    @property
+    def kernel_stacks(self) -> KernelStacks:
+        """The per-kernel cost stacks (exposed for accounting)."""
+        return self._kernel_stacks
+
+    def close(self) -> None:
+        """Release process-level resources (the shard worker pool, if
+        the sharded kernel was used).  The advisor stays usable."""
+        self._kernel_stacks.close()
 
     # ------------------------------------------------------------------
     # Input coercion
@@ -464,6 +527,8 @@ class IndexAdvisor:
         parallelism: int = 1,
         naive_evaluation: bool = False,
         cost_kernel: str | None = None,
+        compression_share: float | None = None,
+        merge_duplicates: bool = False,
     ) -> Recommendation:
         """Compute an index recommendation.
 
@@ -507,10 +572,18 @@ class IndexAdvisor:
             re-evaluation per round).  Selects the identical steps as
             the incremental engine, just with far more what-if calls.
         cost_kernel:
-            Analytic backend flavour for this call (``"scalar"`` or
-            ``"vectorized"``); ``None`` (default) uses the advisor's
-            constructor default.  Each flavour keeps its own what-if
-            cache and call counters.
+            Analytic backend flavour for this call (``"scalar"``,
+            ``"vectorized"``, or ``"sharded"``); ``None`` (default)
+            uses the advisor's constructor default.  Each flavour keeps
+            its own what-if cache and call counters.
+        compression_share / merge_duplicates:
+            The :func:`~repro.workload.compression.pricing_prepass`
+            knobs: merge content-duplicate templates (lossless for the
+            total workload cost) and/or keep only the templates
+            covering ``compression_share`` of estimated cost before
+            pricing.  Both default off — compression trades fidelity
+            (and step-trace stability) for selection time on very
+            large workloads.
         """
         if algorithm not in _ALGORITHMS:
             raise ExperimentError(
@@ -530,6 +603,13 @@ class IndexAdvisor:
         resilient, optimizer = self._kernel_stacks.stack(kernel)
         if resilience is not None:
             self._kernel_stacks.set_policy(resilience)
+        if merge_duplicates or compression_share is not None:
+            resolved, _ = pricing_prepass(
+                resolved,
+                optimizer,
+                merge_duplicates=merge_duplicates,
+                share=compression_share,
+            )
         deadline = Deadline(deadline_s)
         telemetry = self._telemetry
 
@@ -570,6 +650,11 @@ class IndexAdvisor:
             )
             if kernel_statistics is not None:
                 telemetry.record_kernel(kernel_statistics)
+            shard_statistics = (
+                self._kernel_stacks.shard_statistics()
+            )
+            if shard_statistics is not None:
+                telemetry.record_kernel(shard_statistics)
         return Recommendation(
             workload=resolved,
             result=result,

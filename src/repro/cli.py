@@ -58,6 +58,7 @@ from repro.core.extend import ExtendAlgorithm
 from repro.core.steps import SelectionResult, format_steps
 from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
+from repro.cost.shard import ShardedCostSource
 from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
 from repro.exceptions import ExperimentError, ReproError
 from repro.heuristics.performance import (
@@ -87,6 +88,7 @@ from repro.telemetry import (
     Telemetry,
     render_metrics_table,
 )
+from repro.workload.compression import pricing_prepass
 from repro.workload.enterprise import (
     EnterpriseConfig,
     generate_enterprise_workload,
@@ -180,11 +182,16 @@ def _build_cost_stack(
     arguments: argparse.Namespace, workload: Workload
 ) -> tuple[WhatIfOptimizer, ResilientCostSource,
            FaultInjectingCostSource | None,
-           VectorizedCostSource | None]:
+           VectorizedCostSource | ShardedCostSource | None]:
     """Assemble analytic backend → fault injector → resilient wrapper."""
-    kernel: VectorizedCostSource | None = None
+    kernel: VectorizedCostSource | ShardedCostSource | None = None
     if arguments.cost_kernel == "vectorized":
         kernel = VectorizedCostSource(workload.schema)
+        analytical = kernel
+    elif arguments.cost_kernel == "sharded":
+        kernel = ShardedCostSource(
+            workload.schema, shards=arguments.shards
+        )
         analytical = kernel
     else:
         analytical = AnalyticalCostSource(CostModel(workload.schema))
@@ -216,6 +223,19 @@ def _advise(arguments: argparse.Namespace) -> int:
     optimizer, resilient, injector, kernel = _build_cost_stack(
         arguments, workload
     )
+    if arguments.merge_duplicates or arguments.compress_share is not None:
+        workload, compression = pricing_prepass(
+            workload,
+            optimizer,
+            merge_duplicates=arguments.merge_duplicates,
+            share=arguments.compress_share,
+        )
+        print(
+            f"Compression pre-pass: {compression.templates_before} -> "
+            f"{compression.templates_after} templates "
+            f"({compression.merged} merged, "
+            f"{compression.dropped} dropped)"
+        )
     deadline = Deadline(arguments.deadline)
     budget = relative_budget(workload.schema, arguments.budget)
     print(
@@ -268,6 +288,16 @@ def _advise(arguments: argparse.Namespace) -> int:
             f"{resilience_stats.fallback_calls:,} fallback calls, "
             f"breaker {resilience_stats.breaker_state.name.lower()}"
         )
+    if isinstance(kernel, ShardedCostSource):
+        shard_stats = kernel.statistics
+        print(
+            f"Sharded kernel: {shard_stats.workers} workers, "
+            f"{shard_stats.dispatched_pairs:,} pairs dispatched "
+            f"({shard_stats.dispatches:,} chunks), "
+            f"{shard_stats.local_pairs:,} priced in-process, "
+            f"{shard_stats.worker_failures:,} worker failures"
+        )
+        kernel.close()
     print("\nRecommended indexes:")
     for index in sorted(
         result.configuration,
@@ -282,6 +312,10 @@ def _advise(arguments: argparse.Namespace) -> int:
         resilient.statistics.publish(telemetry.metrics)
         if kernel is not None:
             kernel.statistics.publish(telemetry.metrics)
+        if isinstance(kernel, ShardedCostSource):
+            # The in-process kernel's compiled-pack gauges ride along
+            # with the shard_* gauges published above.
+            kernel.kernel_statistics.publish(telemetry.metrics)
         if injector is not None:
             injector.statistics.publish(telemetry.metrics)
         if arguments.metrics:
@@ -298,7 +332,10 @@ def _serve(arguments: argparse.Namespace) -> int:
     schema = workload.schema
     cost_source = None
     if arguments.fault_rate > 0:
-        if arguments.cost_kernel == "vectorized":
+        if arguments.cost_kernel in ("vectorized", "sharded"):
+            # The injector's inner source stays single-process (it is
+            # bit-identical to the sharded backend); the per-kernel
+            # analytic fallback in the stacks keeps the sharded pool.
             analytical = VectorizedCostSource(schema)
         else:
             analytical = AnalyticalCostSource(CostModel(schema))
@@ -318,6 +355,7 @@ def _serve(arguments: argparse.Namespace) -> int:
             backoff_base_s=0.0,
         ),
         cost_kernel=arguments.cost_kernel,
+        shards=arguments.shards,
         snapshot_dir=arguments.snapshot_dir,
         snapshot_interval_s=arguments.snapshot_interval,
         drain_timeout_s=arguments.drain_timeout,
@@ -430,11 +468,19 @@ def main(argv: list[str] | None = None) -> int:
 
     cost_flags = argparse.ArgumentParser(add_help=False)
     cost_flags.add_argument(
-        "--cost-kernel", choices=("scalar", "vectorized"),
+        "--cost-kernel", choices=("scalar", "vectorized", "sharded"),
         default="vectorized",
         help="analytic cost backend flavour: the compiled numpy batch "
-        "kernel (default) or the pure-Python scalar model; both agree "
-        "within 1e-9 relative tolerance",
+        "kernel (default), the pure-Python scalar model, or the "
+        "process-sharded kernel for whole-enterprise workloads; all "
+        "agree within 1e-9 relative tolerance (sharded is "
+        "bit-identical to vectorized)",
+    )
+    cost_flags.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker processes for --cost-kernel sharded (default: "
+        "machine cores clamped to [2, 8]); batches below the dispatch "
+        "threshold stay in-process",
     )
     cost_flags.add_argument(
         "--parallelism", type=int, default=1, metavar="N",
@@ -483,6 +529,17 @@ def main(argv: list[str] | None = None) -> int:
         help="use the pre-engine exhaustive candidate re-scan instead "
         "of the incremental benefit table (differential-testing "
         "escape hatch; same recommendation, many more what-if calls)",
+    )
+    advise.add_argument(
+        "--merge-duplicates", action="store_true",
+        help="compression pre-pass: merge content-duplicate templates "
+        "(frequencies summed; lossless for the total workload cost)",
+    )
+    advise.add_argument(
+        "--compress-share", type=float, default=None, metavar="P",
+        help="compression pre-pass: keep only the templates covering "
+        "share P of estimated cost before selection (lossy; "
+        "default: off)",
     )
     advise.add_argument(
         "--steps", action="store_true",

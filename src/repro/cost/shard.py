@@ -1,0 +1,663 @@
+"""Process-sharded cost kernel: whole-enterprise pricing across cores.
+
+The compiled kernel of :mod:`repro.cost.kernel` prices a cost table as
+one numpy sweep — fast, but single-process: at the paper's full
+enterprise scale (500 tables, 4 204 attributes, 2 271 templates) the
+pair axis grows into the hundreds of thousands and one core becomes the
+ceiling.  This module adds :class:`ShardedCostSource`, a drop-in
+:class:`~repro.cost.whatif.CostSource` that partitions the pair axis of
+a batch across a ``multiprocessing`` worker pool:
+
+* **Shared read-only packs.**  Workers receive the parent's
+  :class:`~repro.cost.kernel.CompiledWorkload` packs exactly once, at
+  pool (re)build time — via fork inheritance on POSIX (zero copies) or
+  one pickle per worker under ``spawn`` — never per task.  Per-task
+  payloads are only row-index arrays and run-length-encoded candidate
+  lists.
+* **Bit-identical results.**  The kernel's batched ``f_j(k)`` sweeps
+  are element-wise per pair (row-wise reductions only), so any
+  partition of the pair axis concatenates to the unpartitioned result
+  bit-for-bit.  Each worker holds its own
+  :class:`~repro.cost.kernel.VectorizedCostSource` over the same schema
+  (deterministically derived statistic tables) and prices the parent's
+  pack rows through the same public entry points.
+* **Same protocol.**  ``query_costs`` / ``pair_costs`` /
+  ``sequential_costs`` / ``maintenance_costs`` mirror the vectorized
+  source, so :class:`~repro.cost.whatif.WhatIfOptimizer` feature
+  detection, :class:`~repro.resilience.ResilientCostSource` batch
+  advertisement, and the service kernel stacks pick the backend up
+  unchanged.
+* **Graceful worker death.**  A killed or crashed worker breaks the
+  pool; chunks that already completed keep their results, lost chunks
+  are repriced serially on the in-process kernel (bit-identical), and
+  the pool is lazily rebuilt.  Only when *no* chunk of a batch survived
+  does the source raise
+  :class:`~repro.exceptions.TransientCostSourceError`, so a wrapping
+  :class:`~repro.resilience.ResilientCostSource` records the
+  degradation and retries the batch against the rebuilt pool.
+
+Batches below ``min_dispatch_pairs`` (and every scalar / maintenance /
+multi-index call) are served by the in-process kernel directly —
+process hops only ever pay off on big sweeps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import groupby
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.cost.kernel import CompiledWorkload, VectorizedCostSource
+from repro.exceptions import TransientCostSourceError
+from repro.indexes.index import Index
+from repro.workload.query import Query
+from repro.workload.schema import Schema
+
+__all__ = [
+    "ShardStatistics",
+    "ShardedCostSource",
+    "default_shard_count",
+]
+
+_DEFAULT_MIN_DISPATCH_PAIRS = 2048
+"""Below this batch size the in-process kernel wins on overhead."""
+
+
+def default_shard_count() -> int:
+    """Worker count when the caller does not pick one: the machine's
+    cores, clamped to [2, 8] (diminishing returns past the memory
+    bandwidth of one socket)."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (zero-copy pack inheritance), else
+    ``spawn`` (packs pickled once per worker at pool start)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass
+class ShardStatistics:
+    """Counters of the sharded backend (telemetry-bridgeable).
+
+    ``dispatched_pairs`` counts pairs priced by pool workers,
+    ``local_pairs`` pairs served by the in-process kernel (below the
+    dispatch threshold or ``shards <= 1``), ``repriced_pairs`` pairs
+    recovered serially after a worker failure.  ``packs_shipped``
+    counts pack transfers at pool (re)builds — the per-task payload
+    never carries a pack.
+    """
+
+    workers: int = 0
+    dispatches: int = 0
+    dispatched_pairs: int = 0
+    local_pairs: int = 0
+    pool_starts: int = 0
+    pool_rebuilds: int = 0
+    pool_resets: int = 0
+    worker_failures: int = 0
+    repriced_pairs: int = 0
+    packs_shipped: int = 0
+
+    def publish(self, registry, prefix: str = "kernel") -> None:
+        """Bridge the counters into a telemetry
+        :class:`~repro.telemetry.metrics.MetricsRegistry` as the
+        ``kernel.shard_*`` gauges (see docs/OBSERVABILITY.md)."""
+        registry.gauge(f"{prefix}.shard_workers").set(self.workers)
+        registry.gauge(f"{prefix}.shard_dispatches").set(
+            self.dispatches
+        )
+        registry.gauge(f"{prefix}.shard_dispatched_pairs").set(
+            self.dispatched_pairs
+        )
+        registry.gauge(f"{prefix}.shard_local_pairs").set(
+            self.local_pairs
+        )
+        registry.gauge(f"{prefix}.shard_pool_starts").set(
+            self.pool_starts
+        )
+        registry.gauge(f"{prefix}.shard_pool_rebuilds").set(
+            self.pool_rebuilds
+        )
+        registry.gauge(f"{prefix}.shard_pool_resets").set(
+            self.pool_resets
+        )
+        registry.gauge(f"{prefix}.shard_worker_failures").set(
+            self.worker_failures
+        )
+        registry.gauge(f"{prefix}.shard_repriced_pairs").set(
+            self.repriced_pairs
+        )
+        registry.gauge(f"{prefix}.shard_packs_shipped").set(
+            self.packs_shipped
+        )
+
+
+class _WorkerState:
+    """One worker's kernel plus the parent's pack snapshot.
+
+    Built once per worker (initializer) and shared by every task the
+    worker serves; also used directly by the parent in ``inline`` mode
+    so tests exercise the exact worker code path in-process.
+    """
+
+    def __init__(
+        self, schema: Schema, packs: Sequence[CompiledWorkload]
+    ) -> None:
+        self.kernel = VectorizedCostSource(schema)
+        self.packs = tuple(packs)
+
+    def price(self, task: tuple) -> np.ndarray:
+        """Price one chunk task; see ``_Chunk.payload`` for formats."""
+        kind = task[0]
+        if kind == "column":
+            _, slot, rows, index = task
+            return self.kernel.index_costs_on(
+                self.packs[slot], rows, index
+            )
+        _, slot, rows, distinct, codes, lengths = task
+        return self.kernel.pair_costs_on(
+            self.packs[slot], rows, _decode_runs(distinct, codes, lengths)
+        )
+
+
+_STATE: _WorkerState | None = None
+
+
+def _worker_init(
+    schema: Schema, packs: tuple[CompiledWorkload, ...]
+) -> None:
+    """Pool initializer: build the per-worker kernel and install the
+    parent's packs (inherited under fork, unpickled once under
+    spawn)."""
+    global _STATE
+    _STATE = _WorkerState(schema, packs)
+
+
+def _price_task(task: tuple) -> np.ndarray:
+    """The pool task function (top-level so ``spawn`` can import it)."""
+    assert _STATE is not None, "worker initializer did not run"
+    return _STATE.price(task)
+
+
+def _encode_runs(indexes: Sequence) -> tuple[list, list[int], list[int]]:
+    """Run-length encode a per-pair index list by object identity.
+
+    Cost-table pair lists are long runs of the same candidate object;
+    shipping ``(distinct, codes, lengths)`` keeps task payloads small
+    and — because decoding rebuilds runs of the *same* object — the
+    worker-side kernel sees identical identity runs and tabulates the
+    chunk exactly like the parent would.
+    """
+    distinct_of: dict[int, int] = {}
+    distinct: list = []
+    codes: list[int] = []
+    lengths: list[int] = []
+    for key, group in groupby(indexes, key=id):
+        members = list(group)
+        code = distinct_of.get(key)
+        if code is None:
+            code = len(distinct)
+            distinct_of[key] = code
+            distinct.append(members[0])
+        codes.append(code)
+        lengths.append(len(members))
+    return distinct, codes, lengths
+
+
+def _decode_runs(
+    distinct: Sequence, codes: Sequence[int], lengths: Sequence[int]
+) -> list:
+    """Expand the run-length encoding back to a per-pair list."""
+    indexes: list = []
+    extend = indexes.extend
+    for code, length in zip(codes, lengths):
+        extend([distinct[code]] * length)
+    return indexes
+
+
+def _chunk_bounds(
+    count: int, shards: int
+) -> list[tuple[int, int]]:
+    """Contiguous near-equal ``[start, end)`` split, no empty chunks."""
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for position in range(shards):
+        size = base + (1 if position < extra else 0)
+        if size:
+            bounds.append((start, start + size))
+            start += size
+    return bounds
+
+
+@dataclass
+class _Chunk:
+    """One shard of a batch: result positions, pack rows, candidates."""
+
+    positions: np.ndarray
+    pack: CompiledWorkload
+    rows: np.ndarray
+    kind: str
+    detail: object
+
+    def payload(self, slots: dict[int, int]) -> tuple:
+        """The picklable task tuple (pack referenced by pool slot)."""
+        slot = slots[id(self.pack)]
+        if self.kind == "column":
+            return ("column", slot, self.rows, self.detail)
+        distinct, codes, lengths = self.detail
+        return ("pairs", slot, self.rows, distinct, codes, lengths)
+
+    @property
+    def size(self) -> int:
+        return int(self.rows.size)
+
+
+class ShardedCostSource:
+    """Process-pool cost source sharding batches across workers.
+
+    Construction is cheap: the pool starts lazily on the first batch
+    that clears ``min_dispatch_pairs``.  ``shards <= 1`` degenerates to
+    the in-process kernel (useful as a baseline and for the
+    shard-count-1 equivalence property).  ``inline=True`` swaps the
+    pool for an in-process :class:`_WorkerState` that runs the exact
+    worker code path — the deterministic harness the shard-equivalence
+    property suite runs at hundreds of examples without fork overhead.
+
+    Thread-safe (``parallel_safe``): pack compilation is locked inside
+    the kernel, pool lifecycle behind this source's own lock, and the
+    numpy sweeps are pure.
+    """
+
+    parallel_safe = True
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        shards: int | None = None,
+        min_dispatch_pairs: int = _DEFAULT_MIN_DISPATCH_PAIRS,
+        start_method: str | None = None,
+        inline: bool = False,
+    ) -> None:
+        self._schema = schema
+        self._kernel = VectorizedCostSource(schema)
+        self._shards = max(
+            1, shards if shards is not None else default_shard_count()
+        )
+        self._min_dispatch = max(1, min_dispatch_pairs)
+        self._start_method = start_method or _default_start_method()
+        self._inline = inline
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+        self._inline_state: _WorkerState | None = None
+        self._slots: dict[int, int] = {}
+        self._pool_packs: tuple[CompiledWorkload, ...] = ()
+        self._pool_lock = threading.Lock()
+        self.statistics = ShardStatistics(workers=self._shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The schema every worker prices against."""
+        return self._schema
+
+    @property
+    def shards(self) -> int:
+        """Configured worker count."""
+        return self._shards
+
+    @property
+    def kernel(self) -> VectorizedCostSource:
+        """The in-process kernel (scalar paths, small batches,
+        repricing)."""
+        return self._kernel
+
+    @property
+    def kernel_statistics(self):
+        """The in-process kernel's
+        :class:`~repro.cost.kernel.KernelStatistics`."""
+        return self._kernel.statistics
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live pool workers (empty before the first
+        dispatch); the chaos harness SIGKILLs from this list."""
+        with self._pool_lock:
+            pool = self._pool
+        processes = getattr(pool, "_processes", None) or {}
+        return [
+            pid
+            for pid, process in processes.items()
+            if process.is_alive()
+        ]
+
+    def alive_workers(self) -> int:
+        """How many pool workers are currently alive."""
+        return len(self.worker_pids())
+
+    # ------------------------------------------------------------------
+    # CostSource protocol (scalar paths delegate to the kernel)
+    # ------------------------------------------------------------------
+
+    def query_cost(self, query: Query, index: Index | None) -> float:
+        """``f_j(k)`` for one pair (in-process kernel)."""
+        return self._kernel.query_cost(query, index)
+
+    def maintenance_cost(self, query: Query, index: Index) -> float:
+        """Per-execution maintenance (scalar model, bit-identical)."""
+        return self._kernel.maintenance_cost(query, index)
+
+    def multi_index_cost(
+        self, query: Query, indexes: Iterable[Index]
+    ) -> float:
+        """Appendix B(i) greedy multi-index cost (scalar delegate)."""
+        return self._kernel.multi_index_cost(query, indexes)
+
+    def sequential_costs(self, queries: Sequence[Query]) -> np.ndarray:
+        """``f_j(0)`` column — a pack lookup, never worth a hop."""
+        return self._kernel.sequential_costs(queries)
+
+    def maintenance_costs(
+        self, queries: Sequence[Query], index: Index
+    ) -> np.ndarray:
+        """Maintenance column (scalar delegate, cached by the
+        facade)."""
+        return self._kernel.maintenance_costs(queries, index)
+
+    # ------------------------------------------------------------------
+    # Sharded batch entry points
+    # ------------------------------------------------------------------
+
+    def query_costs(
+        self, queries: Sequence[Query], index: Index | None
+    ) -> np.ndarray:
+        """``f_j(k)`` for a column of queries under one index, sharded
+        across workers when the column is big enough."""
+        queries = tuple(queries)
+        if index is None or not self._should_dispatch(len(queries)):
+            self.statistics.local_pairs += len(queries)
+            return self._kernel.query_costs(queries, index)
+        placements = self._kernel.placements_for(queries)
+        results = np.empty(len(queries), dtype=np.float64)
+        chunks: list[_Chunk] = []
+        for pack, positions, rows, _ in self._grouped(placements):
+            for start, end in _chunk_bounds(rows.size, self._shards):
+                chunks.append(
+                    _Chunk(
+                        positions=positions[start:end],
+                        pack=pack,
+                        rows=rows[start:end],
+                        kind="column",
+                        detail=index,
+                    )
+                )
+        self._price_chunks(chunks, results)
+        return results
+
+    def pair_costs(
+        self, pairs: Sequence[tuple[Query, Index | None]]
+    ) -> np.ndarray:
+        """``f_j(k)`` for arbitrary pairs — the cost-table entry point,
+        sharded along the pair axis."""
+        pairs = tuple(pairs)
+        if not self._should_dispatch(len(pairs)):
+            self.statistics.local_pairs += len(pairs)
+            return self._kernel.pair_costs(pairs)
+        queries = tuple(query for query, _ in pairs)
+        indexes = [index for _, index in pairs]
+        placements = self._kernel.placements_for(queries)
+        results = np.empty(len(pairs), dtype=np.float64)
+        chunks: list[_Chunk] = []
+        for pack, positions, rows, members in self._grouped(
+            placements, indexes
+        ):
+            for start, end in _chunk_bounds(rows.size, self._shards):
+                chunks.append(
+                    _Chunk(
+                        positions=positions[start:end],
+                        pack=pack,
+                        rows=rows[start:end],
+                        kind="pairs",
+                        detail=_encode_runs(members[start:end]),
+                    )
+                )
+        self._price_chunks(chunks, results)
+        return results
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def reset_pool(self) -> None:
+        """Drop the pool (queued work cancelled, workers reaped); the
+        next big batch rebuilds it.  The service watchdog calls this
+        when it abandons a request whose shard dispatch hung."""
+        with self._pool_lock:
+            had_pool = self._pool is not None
+            self._teardown_locked()
+        if had_pool:
+            self.statistics.pool_resets += 1
+
+    def close(self) -> None:
+        """Shut the pool down; the source stays usable (in-process
+        kernel, lazily rebuilt pool)."""
+        with self._pool_lock:
+            self._teardown_locked()
+
+    def __enter__(self) -> "ShardedCostSource":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _teardown_locked(self) -> None:
+        pool = self._pool
+        self._pool = None
+        self._pool_broken = False
+        self._slots = {} if self._inline_state is None else self._slots
+        if self._inline_state is None:
+            self._pool_packs = ()
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort reap
+                pass
+
+    def _ensure_pool(
+        self, needed: Sequence[CompiledWorkload]
+    ) -> tuple[ProcessPoolExecutor | None, dict[int, int]]:
+        """The current pool and its pack-slot table, (re)building when
+        the pool is missing, broken, or lacks a needed pack."""
+        with self._pool_lock:
+            if self._pool is not None and not self._pool_broken:
+                if all(id(pack) in self._slots for pack in needed):
+                    return self._pool, dict(self._slots)
+            rebuild = self._pool is not None or self._pool_broken
+            self._teardown_locked()
+            snapshot = self._kernel.packs()
+            try:
+                context = multiprocessing.get_context(
+                    self._start_method
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=self._shards,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(self._schema, snapshot),
+                )
+            except Exception:
+                self.statistics.worker_failures += 1
+                return None, {}
+            self._pool = pool
+            self._pool_broken = False
+            self._pool_packs = snapshot
+            self._slots = {
+                id(pack): slot for slot, pack in enumerate(snapshot)
+            }
+            statistics = self.statistics
+            statistics.pool_starts += 1
+            if rebuild:
+                statistics.pool_rebuilds += 1
+            statistics.packs_shipped += len(snapshot)
+            return pool, dict(self._slots)
+
+    def _ensure_inline(
+        self, needed: Sequence[CompiledWorkload]
+    ) -> tuple[_WorkerState, dict[int, int]]:
+        with self._pool_lock:
+            state = self._inline_state
+            if state is None or any(
+                id(pack) not in self._slots for pack in needed
+            ):
+                snapshot = self._kernel.packs()
+                state = _WorkerState(self._schema, snapshot)
+                self._inline_state = state
+                self._pool_packs = snapshot
+                self._slots = {
+                    id(pack): slot
+                    for slot, pack in enumerate(snapshot)
+                }
+                statistics = self.statistics
+                statistics.pool_starts += 1
+                statistics.packs_shipped += len(snapshot)
+            return state, dict(self._slots)
+
+    def _mark_broken(self, pool: ProcessPoolExecutor) -> None:
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool_broken = True
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort reap
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _should_dispatch(self, pair_count: int) -> bool:
+        return self._shards > 1 and pair_count >= self._min_dispatch
+
+    @staticmethod
+    def _grouped(
+        placements: Sequence[tuple[CompiledWorkload, int]],
+        indexes: Sequence | None = None,
+    ):
+        """Group batch positions by pack, preserving order within each
+        group (mirrors the kernel's own scatter-gather grouping)."""
+        groups: dict[int, tuple[CompiledWorkload, list, list, list]] = {}
+        for position, (pack, row) in enumerate(placements):
+            entry = groups.get(id(pack))
+            if entry is None:
+                entry = (pack, [], [], [])
+                groups[id(pack)] = entry
+            entry[1].append(position)
+            entry[2].append(row)
+            if indexes is not None:
+                entry[3].append(indexes[position])
+        for pack, positions, rows, members in groups.values():
+            yield (
+                pack,
+                np.asarray(positions, dtype=np.intp),
+                np.asarray(rows, dtype=np.intp),
+                members,
+            )
+
+    def _run_inline(self, state: _WorkerState, payload: tuple):
+        """Inline-mode chunk execution (separable for fault tests)."""
+        return state.price(payload)
+
+    def _reprice(self, chunk: _Chunk) -> np.ndarray:
+        """Serial recovery of one lost chunk on the in-process kernel
+        (bit-identical to what the worker would have returned)."""
+        self.statistics.repriced_pairs += chunk.size
+        if chunk.kind == "column":
+            return self._kernel.index_costs_on(
+                chunk.pack, chunk.rows, chunk.detail
+            )
+        distinct, codes, lengths = chunk.detail
+        return self._kernel.pair_costs_on(
+            chunk.pack, chunk.rows, _decode_runs(distinct, codes, lengths)
+        )
+
+    def _price_chunks(
+        self, chunks: list[_Chunk], results: np.ndarray
+    ) -> None:
+        """Run every chunk, scattering costs into ``results``.
+
+        Worker failures degrade: completed chunks keep their results,
+        lost chunks are repriced serially, the pool is marked for
+        rebuild.  When *nothing* completed (the pool died outright) a
+        :class:`TransientCostSourceError` propagates so the resilience
+        chain records the failure and retries against a fresh pool.
+        """
+        statistics = self.statistics
+        packs = [chunk.pack for chunk in chunks]
+        failures: list[_Chunk] = []
+        completed = 0
+        if self._inline:
+            state, slots = self._ensure_inline(packs)
+            for chunk in chunks:
+                try:
+                    costs = self._run_inline(
+                        state, chunk.payload(slots)
+                    )
+                except Exception:
+                    failures.append(chunk)
+                    continue
+                results[chunk.positions] = costs
+                completed += 1
+                statistics.dispatches += 1
+                statistics.dispatched_pairs += chunk.size
+        else:
+            pool, slots = self._ensure_pool(packs)
+            if pool is None:
+                # Pool construction itself failed (resource pressure):
+                # price everything serially rather than crash.
+                for chunk in chunks:
+                    results[chunk.positions] = self._reprice(chunk)
+                return
+            submitted: list[tuple[_Chunk, object]] = []
+            for chunk in chunks:
+                try:
+                    future = pool.submit(
+                        _price_task, chunk.payload(slots)
+                    )
+                except Exception:
+                    failures.append(chunk)
+                    continue
+                submitted.append((chunk, future))
+            for chunk, future in submitted:
+                try:
+                    costs = future.result()
+                except Exception:
+                    failures.append(chunk)
+                    continue
+                results[chunk.positions] = costs
+                completed += 1
+                statistics.dispatches += 1
+                statistics.dispatched_pairs += chunk.size
+            if failures:
+                self._mark_broken(pool)
+        if not failures:
+            return
+        statistics.worker_failures += 1
+        if completed == 0:
+            raise TransientCostSourceError(
+                f"sharded kernel lost all {len(failures)} chunk(s) of a "
+                "batch (worker pool died); pool marked for rebuild"
+            )
+        for chunk in failures:
+            results[chunk.positions] = self._reprice(chunk)

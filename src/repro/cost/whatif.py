@@ -5,8 +5,10 @@ approaches" (Section I); the paper's scalability argument rests on the
 number of such calls (≈ ``2·Q·q̄`` for Algorithm 1 versus
 ``≈ Q·q̄·|I|/N`` for CoPhy, Section III-A).  This module provides:
 
-* :class:`CostSource` — the protocol a cost backend implements.  Two
-  backends exist: :class:`AnalyticalCostSource` (Appendix B model) and
+* :class:`CostSource` — the protocol a cost backend implements.
+  Backends: :class:`AnalyticalCostSource` (Appendix B model), the
+  compiled batch kernel in :mod:`repro.cost.kernel`, its process-pool
+  shard in :mod:`repro.cost.shard` (bit-identical to the kernel), and
   the measured-execution source in :mod:`repro.engine.measured`.
 * :class:`WhatIfOptimizer` — a caching facade that counts *backend* calls
   (cache hits are free, exactly like the caching the paper describes in

@@ -69,18 +69,25 @@ def analytic_optimizer(
 
     ``kernel`` selects the backend flavour: ``"vectorized"`` (default)
     uses the compiled batch kernel of :mod:`repro.cost.kernel`,
-    ``"scalar"`` the pure-Python :class:`CostModel`.  Both agree within
-    1e-9 relative tolerance on every pair; the experiment sweeps (and
-    the golden step traces) are invariant to the choice.
+    ``"scalar"`` the pure-Python :class:`CostModel`, ``"sharded"`` the
+    process-pool backend of :mod:`repro.cost.shard`.  All agree within
+    1e-9 relative tolerance on every pair (vectorized and sharded are
+    bit-identical); the experiment sweeps (and the golden step traces)
+    are invariant to the choice.
     """
     if kernel == "vectorized":
         return WhatIfOptimizer(VectorizedCostSource(workload.schema))
+    if kernel == "sharded":
+        from repro.cost.shard import ShardedCostSource
+
+        return WhatIfOptimizer(ShardedCostSource(workload.schema))
     if kernel == "scalar":
         return WhatIfOptimizer(
             AnalyticalCostSource(CostModel(workload.schema))
         )
     raise ExperimentError(
-        f"unknown cost kernel {kernel!r}; pick 'scalar' or 'vectorized'"
+        f"unknown cost kernel {kernel!r}; pick 'scalar', 'vectorized' "
+        "or 'sharded'"
     )
 
 

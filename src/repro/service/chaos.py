@@ -19,6 +19,14 @@ Scenarios (``SCENARIOS``):
 ``worker_death``
     Worker executions die mid-request (an exploding cost backend) and
     one genuinely hangs until the watchdog abandons its thread.
+``shard_worker_death``
+    Every process of a :class:`~repro.cost.shard.ShardedCostSource`
+    pool is SIGKILLed between requests; the next cold request must
+    still complete with a configuration and cost identical to the
+    healthy baseline, the ``resilience.*`` gauges on its response must
+    record the degradation (a transient failure and a retry), and the
+    shard statistics must show exactly one lost batch and one pool
+    rebuild.
 ``malformed_lines``
     The JSON-lines loop is fed truncated JSON, binary junk, non-object
     lines, and unknown ops; every line must produce exactly one
@@ -52,15 +60,19 @@ from __future__ import annotations
 import argparse
 import io
 import json
+import os
 import random
+import signal
 import sys
 import tempfile
 import threading
+import time
 from concurrent.futures import TimeoutError as _FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cost.model import CostModel
+from repro.cost.shard import ShardedCostSource
 from repro.cost.whatif import AnalyticalCostSource
 from repro.exceptions import WatchdogTimeoutError
 from repro.resilience.faults import (
@@ -76,6 +88,7 @@ __all__ = ["ChaosHarness", "ScenarioReport", "SCENARIOS", "main"]
 
 SCENARIOS = (
     "worker_death",
+    "shard_worker_death",
     "malformed_lines",
     "client_disconnect",
     "corrupt_snapshot",
@@ -418,6 +431,156 @@ class ChaosHarness:
         finally:
             gate.set()
             self._settle_and_check(service, tickets, report)
+        return report
+
+    def _run_shard_worker_death(self) -> ScenarioReport:
+        report = ScenarioReport("shard_worker_death", self.seed)
+        rng = random.Random(self.seed)
+        # The service-built sharded flavour keeps its production
+        # dispatch floor (2048 pairs) and would price this deliberately
+        # small workload locally; injecting the source with a floor of
+        # 1 forces every batch of the chaos workload through the real
+        # process pool.
+        source = ShardedCostSource(
+            self._schema, shards=2, min_dispatch_pairs=1
+        )
+        service = AdvisorService(
+            self._schema,
+            max_concurrency=1,
+            queue_depth=4,
+            cost_source=source,
+            drain_timeout_s=5.0,
+        )
+        tickets: list = []
+        try:
+            # Warm stores are per-registration: two names for the same
+            # workload guarantee the post-kill request prices cold
+            # through the pool instead of being answered from memory.
+            service.register_workload("shard-warm", self._workload)
+            service.register_workload("shard-cold", self._workload)
+            baseline_ticket = service.submit(
+                RecommendRequest(
+                    workload="shard-warm",
+                    budget_share=_BUDGET_SHARE,
+                    request_id="shard-death-0",
+                )
+            )
+            tickets.append(baseline_ticket)
+            baseline = baseline_ticket.result(
+                timeout_s=_OUTCOME_WAIT_S
+            )
+            if source.statistics.dispatches == 0:
+                report.violations.append(
+                    "baseline request never dispatched to the shard "
+                    "pool; scenario vacuous"
+                )
+            # Massacre: SIGKILL every pool process (order scripted by
+            # the seed) and wait until the pool really is a graveyard,
+            # so the kill can never race the next request.
+            victims = source.worker_pids()
+            rng.shuffle(victims)
+            for pid in victims:
+                os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + _OUTCOME_WAIT_S
+            while (
+                source.alive_workers()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            report.details["workers_killed"] = len(victims)
+            if source.alive_workers():
+                report.violations.append(
+                    f"{source.alive_workers()} worker(s) survived "
+                    "SIGKILL"
+                )
+            # The facade cache is content-addressed and shared across
+            # requests, so re-pricing the same queries would never
+            # reach the (dead) pool.  Dropping it forces the cold
+            # request to genuinely price through the backend.
+            _, optimizer = service.kernel_stacks.stack("vectorized")
+            optimizer.clear_cache()
+            cold_ticket = service.submit(
+                RecommendRequest(
+                    workload="shard-cold",
+                    budget_share=_BUDGET_SHARE,
+                    request_id="shard-death-1",
+                )
+            )
+            tickets.append(cold_ticket)
+            cold = cold_ticket.result(timeout_s=_OUTCOME_WAIT_S)
+            # The request must complete *correctly*: same configuration
+            # and bit-identical cost as the healthy baseline run.
+            if cold.status != "completed":
+                report.violations.append(
+                    "post-kill request finished "
+                    f"{cold.status!r}, expected a clean completion"
+                )
+            if cold.warm:
+                report.violations.append(
+                    "post-kill request was answered warm; the pool "
+                    "was never exercised"
+                )
+            if cold.indexes != baseline.indexes:
+                report.violations.append(
+                    "post-kill recommendation differs from the "
+                    "healthy baseline configuration"
+                )
+            if cold.result.total_cost != baseline.result.total_cost:
+                report.violations.append(
+                    "post-kill total cost "
+                    f"{cold.result.total_cost!r} is not bit-identical "
+                    f"to the baseline {baseline.result.total_cost!r}"
+                )
+            # Degradation must be *visible*: the response gauges carry
+            # the resilience counters that absorbed the dead pool.
+            retries = cold.gauges.get(
+                "resilience.retries", 0.0
+            ) - baseline.gauges.get("resilience.retries", 0.0)
+            transients = cold.gauges.get(
+                "resilience.transient_failures", 0.0
+            ) - baseline.gauges.get(
+                "resilience.transient_failures", 0.0
+            )
+            fallbacks = cold.gauges.get(
+                "resilience.fallback_calls", 0.0
+            ) - baseline.gauges.get(
+                "resilience.fallback_calls", 0.0
+            )
+            statistics = source.statistics
+            report.details["resilience_retries"] = retries
+            report.details["resilience_transient_failures"] = transients
+            report.details["worker_failures"] = statistics.worker_failures
+            report.details["pool_rebuilds"] = statistics.pool_rebuilds
+            report.details["pool_starts"] = statistics.pool_starts
+            if transients < 1:
+                report.violations.append(
+                    "killing the whole pool recorded no "
+                    "resilience.transient_failures on the response"
+                )
+            if retries < 1:
+                report.violations.append(
+                    "the lost batch was never retried against a "
+                    "rebuilt pool (resilience.retries gauge flat)"
+                )
+            if fallbacks:
+                report.violations.append(
+                    "the retry should have healed the primary; "
+                    f"{fallbacks:.0f} call(s) leaked to the fallback "
+                    "chain"
+                )
+            if statistics.worker_failures != 1:
+                report.violations.append(
+                    "expected exactly 1 lost batch, shard statistics "
+                    f"counted {statistics.worker_failures}"
+                )
+            if statistics.pool_rebuilds != 1:
+                report.violations.append(
+                    "expected exactly 1 pool rebuild, shard "
+                    f"statistics counted {statistics.pool_rebuilds}"
+                )
+        finally:
+            self._settle_and_check(service, tickets, report)
+            source.close()
         return report
 
     def _run_malformed_lines(self) -> ScenarioReport:

@@ -377,6 +377,9 @@ class AdvisorService:
         Retry/breaker policy for the shared cost stacks.
     cost_kernel:
         Kernel flavour used when a request does not pick one.
+    shards:
+        Worker-process count for the ``"sharded"`` kernel flavour;
+        ``None`` picks a machine-sized default.
     clock:
         Monotonic time source (injectable for deterministic tests);
         feeds deadlines, the queue/wall timings, and snapshot age.
@@ -413,6 +416,7 @@ class AdvisorService:
         cost_source: CostSource | None = None,
         resilience: ResiliencePolicy | None = None,
         cost_kernel: str = "vectorized",
+        shards: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         snapshot_dir: str | Path | None = None,
         snapshot_interval_s: float | None = None,
@@ -451,7 +455,10 @@ class AdvisorService:
         self._drain_timeout_s = drain_timeout_s
         self._watchdog_grace_s = watchdog_grace_s
         self._stacks = KernelStacks(
-            schema, cost_source=cost_source, policy=resilience
+            schema,
+            cost_source=cost_source,
+            policy=resilience,
+            shards=shards,
         )
         self._registry = WorkloadRegistry(schema, self._stacks)
         self._pool = _WorkerPool(max_concurrency)
@@ -746,6 +753,9 @@ class AdvisorService:
             kernel_statistics = self._stacks.vectorized_statistics()
             if kernel_statistics is not None:
                 telemetry.record_kernel(kernel_statistics)
+            shard_statistics = self._stacks.shard_statistics()
+            if shard_statistics is not None:
+                telemetry.record_kernel(shard_statistics)
             lifetime = self._account_completion(
                 record,
                 registration,
@@ -935,6 +945,10 @@ class AdvisorService:
         worker = record.worker
         if worker is not None and worker.is_alive():
             self._pool.abandon(worker)
+            # The abandoned worker may still hold shard-pool futures;
+            # drop the pool so its processes cannot be wedged by work
+            # nobody will collect.  It rebuilds lazily on next use.
+            self._stacks.reset_shard_pool()
         return True
 
     # ------------------------------------------------------------------
@@ -1031,8 +1045,9 @@ class AdvisorService:
         """Liveness report for supervisors (the ``health`` protocol op).
 
         JSON-safe: status, admission pressure, worker-pool liveness,
-        watchdog counters, snapshot freshness, and per-kernel circuit
-        breaker states.
+        watchdog counters, snapshot freshness, per-kernel circuit
+        breaker states, and (when the sharded kernel is built) shard
+        worker-pool liveness.
         """
         with self._lock:
             statistics = self._statistics.copy()
@@ -1051,6 +1066,18 @@ class AdvisorService:
                 resilient.statistics.breaker_state.name.lower()
             )
         age = self.snapshot_age_seconds()
+        shard_source = self._stacks.shard_source()
+        shards = None
+        if shard_source is not None:
+            shard_statistics = shard_source.statistics
+            shards = {
+                "workers": shard_source.shards,
+                "alive": shard_source.alive_workers(),
+                "pool_starts": shard_statistics.pool_starts,
+                "pool_rebuilds": shard_statistics.pool_rebuilds,
+                "pool_resets": shard_statistics.pool_resets,
+                "worker_failures": shard_statistics.worker_failures,
+            }
         return {
             "status": status,
             "in_flight": statistics.in_flight,
@@ -1082,6 +1109,7 @@ class AdvisorService:
                 "corruptions": statistics.snapshot_corruptions,
             },
             "breakers": breakers,
+            "shards": shards,
         }
 
     def ready(self) -> dict:
@@ -1189,6 +1217,7 @@ class AdvisorService:
         self._pool.shutdown(
             wait=wait, timeout_s=self._drain_timeout_s
         )
+        self._stacks.close()
 
     def __enter__(self) -> AdvisorService:
         return self

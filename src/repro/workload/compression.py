@@ -21,6 +21,7 @@ both sides of that trade.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.exceptions import WorkloadError
@@ -30,7 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cost.whatif import WhatIfOptimizer
 
 __all__ = [
+    "CompressionReport",
     "merge_duplicate_templates",
+    "pricing_prepass",
     "top_k_expensive",
     "frequency_share",
 ]
@@ -60,6 +63,69 @@ def merge_duplicate_templates(workload: Workload) -> Workload:
         )
     ]
     return Workload(workload.schema, queries)
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """What one :func:`pricing_prepass` did to a workload."""
+
+    templates_before: int
+    """Template count entering the pre-pass."""
+    templates_after: int
+    """Template count leaving it."""
+    merged: int
+    """Templates removed by duplicate merging (frequencies summed)."""
+    dropped: int
+    """Templates removed by the frequency-share cutoff."""
+
+    @property
+    def compression_ratio(self) -> float:
+        """``templates_before / templates_after`` (1.0 = untouched)."""
+        if not self.templates_after:
+            return 1.0
+        return self.templates_before / self.templates_after
+
+
+def pricing_prepass(
+    workload: Workload,
+    optimizer: WhatIfOptimizer | None = None,
+    *,
+    merge_duplicates: bool = True,
+    share: float | None = None,
+) -> tuple[Workload, CompressionReport]:
+    """The compression pre-pass of the enterprise pricing path.
+
+    Shrinks the template axis before a cost-table sweep or a selection
+    run: first :func:`merge_duplicate_templates` (lossless — workload
+    cost is linear in frequencies), then optionally
+    :func:`frequency_share` with cutoff ``share`` (lossy; needs
+    ``optimizer`` for the one-sequential-estimate-per-template
+    weights).  Returns the compressed workload plus a
+    :class:`CompressionReport` of what happened; with both knobs off
+    the workload passes through untouched.
+    """
+    before = workload.query_count
+    merged = 0
+    if merge_duplicates:
+        compressed = merge_duplicate_templates(workload)
+        merged = before - compressed.query_count
+        workload = compressed
+    dropped = 0
+    if share is not None:
+        if optimizer is None:
+            raise WorkloadError(
+                "frequency-share compression needs an optimizer for "
+                "the per-template cost weights"
+            )
+        kept = frequency_share(workload, optimizer, share)
+        dropped = workload.query_count - kept.query_count
+        workload = kept
+    return workload, CompressionReport(
+        templates_before=before,
+        templates_after=workload.query_count,
+        merged=merged,
+        dropped=dropped,
+    )
 
 
 def _estimated_weights(

@@ -1,0 +1,410 @@
+"""Shard-equivalence property suite.
+
+The contract that lets ``--cost-kernel sharded`` replace the
+single-process kernel everywhere: for ANY workload, ANY shard count,
+and ANY chunk boundary, the sharded backend's ``query_costs`` /
+``pair_costs`` / ``cost_table`` are **bit-identical** to
+:class:`~repro.cost.kernel.VectorizedCostSource`, and the
+:class:`~repro.cost.whatif.WhatIfStatistics` accounting matches
+exactly.
+
+The hypothesis properties run the sharded source in ``inline`` mode —
+the exact worker code path (pack snapshot, run-length-encoded task
+payloads, scatter-gather) executed in-process, so hundreds of examples
+cost no fork overhead.  A small set of tests at the bottom exercises
+the real process pool, including worker death mid-batch.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.kernel import VectorizedCostSource
+from repro.cost.shard import (
+    ShardedCostSource,
+    _chunk_bounds,
+    _decode_runs,
+    _encode_runs,
+    default_shard_count,
+)
+from repro.cost.whatif import WhatIfOptimizer
+from repro.exceptions import TransientCostSourceError
+from repro.indexes.candidates import syntactically_relevant_candidates
+from repro.indexes.index import Index
+from repro.workload.query import Query, Workload
+from repro.workload.schema import Schema
+
+SHARD_COUNTS = (1, 2, 3, 7)
+_ROWS = 10_000
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def sharded_workloads(draw):
+    """(workload, candidates, shards, min_dispatch) quadruples.
+
+    One or two tables (two packs exercise the scatter-gather grouping),
+    3-6 attributes each, up to 10 queries; ``min_dispatch`` is drawn
+    tiny so even small batches cross chunk boundaries.
+    """
+    table_count = draw(st.integers(min_value=1, max_value=2))
+    specs = {}
+    for table_index in range(table_count):
+        attribute_count = draw(st.integers(min_value=3, max_value=6))
+        specs[f"T{table_index}"] = (
+            _ROWS,
+            [
+                (
+                    f"A{position}",
+                    draw(st.integers(min_value=1, max_value=_ROWS)),
+                    draw(st.integers(min_value=1, max_value=16)),
+                )
+                for position in range(attribute_count)
+            ],
+        )
+    schema = Schema.build(specs)
+    queries = []
+    query_count = draw(st.integers(min_value=1, max_value=10))
+    for query_id in range(query_count):
+        table = draw(st.sampled_from(schema.tables))
+        ids = [attribute.id for attribute in table.attributes]
+        subset = draw(
+            st.sets(st.sampled_from(ids), min_size=1, max_size=len(ids))
+        )
+        frequency = float(draw(st.integers(min_value=1, max_value=1000)))
+        queries.append(
+            Query(query_id, table.name, frozenset(subset), frequency)
+        )
+    workload = Workload(schema, queries)
+    width = draw(st.integers(min_value=1, max_value=3))
+    candidates = syntactically_relevant_candidates(workload, width)
+    shards = draw(st.sampled_from(SHARD_COUNTS))
+    min_dispatch = draw(st.sampled_from((1, 2, 5)))
+    return workload, candidates, shards, min_dispatch
+
+
+def _table_pairs(workload, candidates):
+    """The cost-table pair list: sequential column + applicable pairs."""
+    pairs: list[tuple[Query, Index | None]] = [
+        (query, None) for query in workload
+    ]
+    for index in candidates:
+        for query in workload:
+            if index.is_applicable_to(query):
+                pairs.append((query, index))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Equivalence properties (inline worker path, 200+ examples)
+# ----------------------------------------------------------------------
+
+
+class TestShardEquivalence:
+    @given(sharded_workloads())
+    @settings(max_examples=200, deadline=None)
+    def test_pair_costs_bit_identical(self, data):
+        workload, candidates, shards, min_dispatch = data
+        pairs = _table_pairs(workload, candidates)
+        reference = VectorizedCostSource(workload.schema).pair_costs(
+            pairs
+        )
+        sharded = ShardedCostSource(
+            workload.schema,
+            shards=shards,
+            min_dispatch_pairs=min_dispatch,
+            inline=True,
+        )
+        assert np.array_equal(sharded.pair_costs(pairs), reference)
+
+    @given(sharded_workloads())
+    @settings(max_examples=200, deadline=None)
+    def test_query_costs_bit_identical(self, data):
+        workload, candidates, shards, min_dispatch = data
+        queries = tuple(workload)
+        reference_kernel = VectorizedCostSource(workload.schema)
+        sharded = ShardedCostSource(
+            workload.schema,
+            shards=shards,
+            min_dispatch_pairs=min_dispatch,
+            inline=True,
+        )
+        for index in list(candidates)[:5] + [None]:
+            assert np.array_equal(
+                sharded.query_costs(queries, index),
+                reference_kernel.query_costs(queries, index),
+            )
+
+    @given(sharded_workloads())
+    @settings(max_examples=100, deadline=None)
+    def test_cost_table_and_statistics_match_exactly(self, data):
+        """The facade contract: identical tables AND identical
+        ``WhatIfStatistics`` (calls, cache hits) — accounting is
+        backend-independent, so warm-store bookkeeping, telemetry, and
+        the paper's call-count claims are invariant to sharding."""
+        workload, candidates, shards, min_dispatch = data
+        reference = WhatIfOptimizer(
+            VectorizedCostSource(workload.schema)
+        )
+        sharded_source = ShardedCostSource(
+            workload.schema,
+            shards=shards,
+            min_dispatch_pairs=min_dispatch,
+            inline=True,
+        )
+        sharded = WhatIfOptimizer(sharded_source)
+        reference_table = reference.cost_table(workload, candidates)
+        sharded_table = sharded.cost_table(workload, candidates)
+        assert sharded_table.keys() == reference_table.keys()
+        for key, expected in reference_table.items():
+            assert sharded_table[key] == expected
+        assert sharded.statistics.calls == reference.statistics.calls
+        assert (
+            sharded.statistics.cache_hits
+            == reference.statistics.cache_hits
+        )
+
+    @given(sharded_workloads())
+    @settings(max_examples=100, deadline=None)
+    def test_inline_fault_injection_repriced_bit_identically(self, data):
+        """Losing every other chunk mid-batch must not change a single
+        bit: lost chunks are repriced serially on the local kernel."""
+        workload, candidates, shards, min_dispatch = data
+        pairs = _table_pairs(workload, candidates)
+        reference = VectorizedCostSource(workload.schema).pair_costs(
+            pairs
+        )
+        sharded = ShardedCostSource(
+            workload.schema,
+            shards=shards,
+            min_dispatch_pairs=min_dispatch,
+            inline=True,
+        )
+        calls = {"count": 0}
+        original = sharded._run_inline
+
+        def flaky(state, payload):
+            calls["count"] += 1
+            if calls["count"] % 2 == 0:
+                raise OSError("simulated worker death")
+            return original(state, payload)
+
+        # Instance-level patch (no fixture: hypothesis runs many
+        # examples per test call and resets nothing between them).
+        sharded._run_inline = flaky
+        try:
+            costs = sharded.pair_costs(pairs)
+        except TransientCostSourceError:
+            # Every chunk of the batch died (single-chunk batches with
+            # the fault landing on it) — the resilience-chain contract;
+            # the retry against the "rebuilt" pool must then agree.
+            sharded._run_inline = original
+            costs = sharded.pair_costs(pairs)
+        assert np.array_equal(costs, reference)
+
+    @given(st.integers(min_value=1, max_value=500), st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=200, deadline=None)
+    def test_chunk_bounds_partition_exactly(self, count, shards):
+        bounds = _chunk_bounds(count, shards)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == count
+        for (_, end), (start, _) in zip(bounds, bounds[1:]):
+            assert start == end
+        assert all(end > start for start, end in bounds)
+        assert len(bounds) == min(shards, count)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_run_length_roundtrip(self, codes_as_objects):
+        objects = [object() for _ in range(6)]
+        members = [objects[code] for code in codes_as_objects]
+        distinct, codes, lengths = _encode_runs(members)
+        assert _decode_runs(distinct, codes, lengths) == members
+
+
+# ----------------------------------------------------------------------
+# Dispatch accounting
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shard_workload():
+    from repro.workload.generator import (
+        GeneratorConfig,
+        generate_workload,
+    )
+
+    return generate_workload(
+        GeneratorConfig(
+            tables=3,
+            attributes_per_table=8,
+            queries_per_table=10,
+            seed=7,
+        )
+    )
+
+
+class TestDispatchAccounting:
+    def test_small_batches_stay_local(self, shard_workload):
+        source = ShardedCostSource(
+            shard_workload.schema, shards=3, inline=True
+        )
+        queries = tuple(shard_workload)[:4]
+        index = syntactically_relevant_candidates(shard_workload, 1)[0]
+        source.query_costs(queries, index)
+        assert source.statistics.dispatches == 0
+        assert source.statistics.local_pairs == len(queries)
+
+    def test_single_shard_never_dispatches(self, shard_workload):
+        source = ShardedCostSource(
+            shard_workload.schema,
+            shards=1,
+            min_dispatch_pairs=1,
+            inline=True,
+        )
+        pairs = _table_pairs(
+            shard_workload,
+            syntactically_relevant_candidates(shard_workload, 2),
+        )
+        reference = VectorizedCostSource(
+            shard_workload.schema
+        ).pair_costs(pairs)
+        assert np.array_equal(source.pair_costs(pairs), reference)
+        assert source.statistics.dispatches == 0
+        assert source.statistics.local_pairs == len(pairs)
+
+    def test_dispatch_covers_every_pair_once(self, shard_workload):
+        source = ShardedCostSource(
+            shard_workload.schema,
+            shards=3,
+            min_dispatch_pairs=1,
+            inline=True,
+        )
+        pairs = _table_pairs(
+            shard_workload,
+            syntactically_relevant_candidates(shard_workload, 2),
+        )
+        source.pair_costs(pairs)
+        assert source.statistics.dispatched_pairs == len(pairs)
+        assert source.statistics.local_pairs == 0
+
+    def test_scalar_paths_delegate_to_local_kernel(self, shard_workload):
+        source = ShardedCostSource(shard_workload.schema, inline=True)
+        kernel = VectorizedCostSource(shard_workload.schema)
+        query = next(iter(shard_workload))
+        index = syntactically_relevant_candidates(shard_workload, 1)[0]
+        assert source.query_cost(query, None) == kernel.query_cost(
+            query, None
+        )
+        assert source.query_cost(query, index) == kernel.query_cost(
+            query, index
+        )
+        assert source.multi_index_cost(
+            query, [index]
+        ) == kernel.multi_index_cost(query, [index])
+
+    def test_statistics_publish_shard_gauges(self, shard_workload):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        source = ShardedCostSource(
+            shard_workload.schema,
+            shards=2,
+            min_dispatch_pairs=1,
+            inline=True,
+        )
+        source.pair_costs(
+            _table_pairs(
+                shard_workload,
+                syntactically_relevant_candidates(shard_workload, 1),
+            )
+        )
+        registry = MetricsRegistry()
+        source.statistics.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["kernel.shard_workers"] == 2
+        assert snapshot["kernel.shard_dispatches"] > 0
+        assert snapshot["kernel.shard_dispatched_pairs"] > 0
+        assert snapshot["kernel.shard_worker_failures"] == 0
+
+    def test_default_shard_count_is_clamped(self):
+        assert 2 <= default_shard_count() <= 8
+
+
+# ----------------------------------------------------------------------
+# The real process pool
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestRealPool:
+    def test_pool_results_bit_identical(self, shard_workload):
+        pairs = _table_pairs(
+            shard_workload,
+            syntactically_relevant_candidates(shard_workload, 2),
+        )
+        reference = VectorizedCostSource(
+            shard_workload.schema
+        ).pair_costs(pairs)
+        with ShardedCostSource(
+            shard_workload.schema, shards=2, min_dispatch_pairs=1
+        ) as source:
+            assert np.array_equal(source.pair_costs(pairs), reference)
+            assert source.statistics.pool_starts == 1
+            assert source.statistics.local_pairs == 0
+            # A second batch reuses the pool and its shipped packs.
+            assert np.array_equal(source.pair_costs(pairs), reference)
+            assert source.statistics.pool_starts == 1
+
+    def test_worker_death_degrades_then_recovers(self, shard_workload):
+        pairs = _table_pairs(
+            shard_workload,
+            syntactically_relevant_candidates(shard_workload, 2),
+        )
+        reference = VectorizedCostSource(
+            shard_workload.schema
+        ).pair_costs(pairs)
+        with ShardedCostSource(
+            shard_workload.schema, shards=2, min_dispatch_pairs=1
+        ) as source:
+            assert np.array_equal(source.pair_costs(pairs), reference)
+            victims = source.worker_pids()
+            assert victims
+            for pid in victims:
+                os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while source.alive_workers() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            # The broken pool loses the whole batch once — the
+            # resilience-chain signal — then rebuilds and agrees.
+            with pytest.raises(TransientCostSourceError):
+                source.pair_costs(pairs)
+            assert np.array_equal(source.pair_costs(pairs), reference)
+            assert source.statistics.worker_failures >= 1
+            assert source.statistics.pool_rebuilds >= 1
+
+    def test_reset_pool_is_safe_and_counted(self, shard_workload):
+        pairs = _table_pairs(
+            shard_workload,
+            syntactically_relevant_candidates(shard_workload, 1),
+        )
+        with ShardedCostSource(
+            shard_workload.schema, shards=2, min_dispatch_pairs=1
+        ) as source:
+            source.pair_costs(pairs)
+            source.reset_pool()
+            assert source.statistics.pool_resets == 1
+            reference = VectorizedCostSource(
+                shard_workload.schema
+            ).pair_costs(pairs)
+            assert np.array_equal(source.pair_costs(pairs), reference)

@@ -21,7 +21,7 @@ def test_unknown_scenario_rejected():
 
 
 @pytest.mark.parametrize(
-    "scenario", ["malformed_lines", "clock_skew"]
+    "scenario", ["malformed_lines", "clock_skew", "shard_worker_death"]
 )
 def test_same_seed_same_report(scenario):
     """One seed, one report: the harness is usable as a regression

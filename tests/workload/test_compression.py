@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
 from repro.exceptions import WorkloadError
 from repro.workload.compression import (
     frequency_share,
     merge_duplicate_templates,
+    pricing_prepass,
     top_k_expensive,
 )
 from repro.workload.query import Query, QueryKind, Workload
+from repro.workload.schema import Schema
 
 
 class TestMergeDuplicates:
@@ -172,3 +178,153 @@ class TestCompressionSelectionQuality:
             merge_duplicate_templates(small_workload), budget
         )
         assert merged.total_cost == pytest.approx(full.total_cost)
+
+
+# ----------------------------------------------------------------------
+# Property suite: merging is lossless under the analytic model
+# ----------------------------------------------------------------------
+
+_ROWS = 10_000
+
+
+@st.composite
+def duplicate_heavy_workloads(draw) -> Workload:
+    """Random single-table workloads where duplicates are the norm.
+
+    Templates are drawn from a deliberately small pool of attribute
+    sets so most workloads contain several queries with an identical
+    (table, attributes, kind) key — the case merging exists for.
+    """
+    attribute_count = draw(st.integers(min_value=3, max_value=6))
+    columns = [
+        (
+            f"A{position}",
+            draw(st.integers(min_value=1, max_value=_ROWS)),
+            draw(st.integers(min_value=1, max_value=16)),
+        )
+        for position in range(attribute_count)
+    ]
+    schema = Schema.build({"T": (_ROWS, columns)})
+    ids = [attribute.id for attribute in schema.iter_attributes()]
+    pool = draw(
+        st.lists(
+            st.frozensets(
+                st.sampled_from(ids), min_size=1, max_size=len(ids)
+            ),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    query_count = draw(st.integers(min_value=1, max_value=10))
+    queries = [
+        Query(
+            query_id,
+            "T",
+            draw(st.sampled_from(pool)),
+            float(draw(st.integers(min_value=1, max_value=1000))),
+            kind=draw(st.sampled_from(list(QueryKind))),
+        )
+        for query_id in range(query_count)
+    ]
+    return Workload(schema, queries)
+
+
+def _analytic(workload: Workload) -> WhatIfOptimizer:
+    return WhatIfOptimizer(
+        AnalyticalCostSource(CostModel(workload.schema))
+    )
+
+
+class TestMergeProperties:
+    @given(duplicate_heavy_workloads())
+    @settings(max_examples=200, deadline=None)
+    def test_merge_preserves_total_weighted_cost(self, workload):
+        """The compression pre-pass invariant: for ANY configuration —
+        none, one index, several — the merged workload prices to the
+        same total weighted cost under the analytic model (cost is
+        linear in frequencies with per-template coefficients)."""
+        from repro.indexes.candidates import single_attribute_candidates
+
+        optimizer = _analytic(workload)
+        merged = merge_duplicate_templates(workload)
+        assert merged.total_frequency() == pytest.approx(
+            workload.total_frequency(), rel=1e-12
+        )
+        candidates = single_attribute_candidates(workload)
+        configurations = [(), tuple(candidates[:1]), tuple(candidates)]
+        for configuration in configurations:
+            assert optimizer.workload_cost(
+                merged, configuration
+            ) == pytest.approx(
+                optimizer.workload_cost(workload, configuration),
+                rel=1e-9,
+            )
+
+    @given(duplicate_heavy_workloads())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_idempotent(self, workload):
+        once = merge_duplicate_templates(workload)
+        twice = merge_duplicate_templates(once)
+        assert twice.query_count == once.query_count
+        assert twice.total_frequency() == pytest.approx(
+            once.total_frequency()
+        )
+
+    @given(duplicate_heavy_workloads())
+    @settings(max_examples=100, deadline=None)
+    def test_prepass_report_accounts_for_every_template(self, workload):
+        compressed, report = pricing_prepass(workload)
+        assert report.templates_before == workload.query_count
+        assert report.templates_after == compressed.query_count
+        assert report.merged == (
+            report.templates_before - report.templates_after
+        )
+        assert report.dropped == 0
+        assert report.compression_ratio >= 1.0
+
+
+class TestPricingPrepass:
+    def test_passthrough_with_both_knobs_off(self, small_workload):
+        compressed, report = pricing_prepass(
+            small_workload, merge_duplicates=False
+        )
+        assert compressed.query_count == small_workload.query_count
+        assert report.merged == 0
+        assert report.dropped == 0
+        assert report.compression_ratio == pytest.approx(1.0)
+
+    def test_share_requires_an_optimizer(self, small_workload):
+        with pytest.raises(WorkloadError, match="optimizer"):
+            pricing_prepass(small_workload, share=0.8)
+
+    def test_share_cutoff_drops_templates(
+        self, small_workload, small_optimizer
+    ):
+        compressed, report = pricing_prepass(
+            small_workload, small_optimizer, share=0.5
+        )
+        assert report.dropped > 0
+        assert compressed.query_count == report.templates_after
+        assert (
+            report.templates_before
+            == compressed.query_count + report.merged + report.dropped
+        )
+
+    def test_merge_then_share_composes(self, tiny_schema):
+        workload = Workload(
+            tiny_schema,
+            [
+                Query(0, "ORDERS", frozenset({0}), 10.0),
+                Query(1, "ORDERS", frozenset({0}), 15.0),
+                Query(2, "ORDERS", frozenset({1}), 0.001),
+            ],
+        )
+        optimizer = _analytic(workload)
+        compressed, report = pricing_prepass(
+            workload, optimizer, share=0.9
+        )
+        assert report.merged == 1
+        assert report.dropped == 1
+        assert compressed.query_count == 1
+        assert compressed.total_frequency() == pytest.approx(25.0)

@@ -91,3 +91,68 @@ class TestEnterpriseWorkload:
         total = workload.total_frequency()
         expected = config.total_executions * config.scale
         assert expected * 0.5 <= total <= expected * 2.0
+
+
+class TestEnterprisePaperScale:
+    """Distributional invariants at ``scale=1.0`` — the published
+    Section IV-A aggregates the generator exists to reproduce.  The
+    full-enterprise pricing path (``--cost-kernel sharded``,
+    ``bench_enterprise``) consumes exactly this workload; these tests
+    pin it against generator drift."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_enterprise_workload(EnterpriseConfig())
+
+    def test_published_counts_exactly(self, workload):
+        assert workload.schema.table_count == 500
+        assert workload.schema.attribute_count == 4_204
+        assert workload.query_count == 2_271
+
+    def test_row_counts_span_published_range(self, workload):
+        rows = [table.row_count for table in workload.schema.tables]
+        assert all(350_000 <= count <= 1_500_000_000 for count in rows)
+        # The range is actually *spanned*, not just respected: the
+        # log-uniform draw must produce both ends of the ERP spectrum.
+        assert min(rows) < 1_000_000
+        assert max(rows) > 1_000_000_000
+
+    def test_point_access_share(self, workload):
+        narrow = sum(
+            1 for query in workload if query.attribute_count <= 3
+        )
+        share = narrow / workload.query_count
+        # "a majority of point-access queries": the configured 80 %
+        # point-access draw realizes slightly higher because the medium
+        # band can also produce width-3 templates.
+        assert 0.75 <= share <= 0.95
+
+    def test_analytical_tail_reaches_published_width(self, workload):
+        widths = [query.attribute_count for query in workload]
+        assert max(widths) >= 8
+        assert max(widths) <= 12
+
+    def test_total_executions_match_published(self, workload):
+        assert workload.total_frequency() == pytest.approx(
+            50_000_000.0, rel=1e-3
+        )
+
+    def test_frequencies_are_heavy_tailed(self, workload):
+        frequencies = sorted(
+            (query.frequency for query in workload), reverse=True
+        )
+        top_decile = sum(frequencies[: len(frequencies) // 10])
+        assert top_decile > 0.5 * sum(frequencies)
+
+    def test_every_table_has_attributes(self, workload):
+        for table in workload.schema.tables:
+            assert len(table.attributes) >= 1
+
+    def test_deterministic_at_paper_scale(self, workload):
+        again = generate_enterprise_workload(EnterpriseConfig())
+        assert [query.attributes for query in again] == [
+            query.attributes for query in workload
+        ]
+        assert [query.frequency for query in again] == [
+            query.frequency for query in workload
+        ]
