@@ -139,6 +139,18 @@ class KernelStacks:
     shards:
         Worker-process count for the ``"sharded"`` kernel flavour
         (``None`` = machine default); ignored by the other flavours.
+    facade_source_wrapper:
+        Optional hook called as ``wrapper(resilient, kernel)`` when a
+        stack is first built; whatever it returns becomes the source
+        the kernel's :class:`WhatIfOptimizer` prices through.  The
+        service uses this to slot its cross-request
+        :class:`~repro.service.coalescer.PricingCoalescer` between the
+        facade and the resilient source without the advisor layer
+        importing the service package.  Returning ``resilient``
+        unchanged (or passing ``None``) keeps the classic stack.
+    whatif_cache_entries:
+        Optional LRU bound forwarded to every kernel's
+        :class:`WhatIfOptimizer` (``None`` = unbounded).
     """
 
     def __init__(
@@ -148,11 +160,15 @@ class KernelStacks:
         cost_source: CostSource | None = None,
         policy: ResiliencePolicy | None = None,
         shards: int | None = None,
+        facade_source_wrapper=None,
+        whatif_cache_entries: int | None = None,
     ) -> None:
         self._schema = schema
         self._cost_source = cost_source
         self._policy = policy
         self._shards = shards
+        self._facade_source_wrapper = facade_source_wrapper
+        self._whatif_cache_entries = whatif_cache_entries
         self._analytic: dict[str, CostSource] = {}
         self._stacks: dict[
             str, tuple[ResilientCostSource, WhatIfOptimizer]
@@ -199,7 +215,18 @@ class KernelStacks:
             resilient = ResilientCostSource(
                 primary, policy=self._policy, fallbacks=fallbacks
             )
-            stack = (resilient, WhatIfOptimizer(resilient))
+            facade_source: CostSource = resilient
+            if self._facade_source_wrapper is not None:
+                facade_source = self._facade_source_wrapper(
+                    resilient, kernel
+                )
+            stack = (
+                resilient,
+                WhatIfOptimizer(
+                    facade_source,
+                    max_entries=self._whatif_cache_entries,
+                ),
+            )
             self._stacks[kernel] = stack
         return stack
 

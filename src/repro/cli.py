@@ -107,6 +107,43 @@ _EXPERIMENTS = (
 _ALGORITHMS = ("extend", "cophy", "h1", "h2", "h3", "h4", "h4s", "h5")
 
 
+def _positive_int(text: str) -> int:
+    """Argparse ``type=`` for flags that must be a positive integer.
+
+    A clean one-line usage error beats the deep ``ServiceError`` (or
+    worse, ``ValueError``) stack trace the library layers would raise
+    long after parsing.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse ``type=`` for flags that must be a positive number."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    # NaN fails every comparison, so test for the accepted range
+    # instead of the rejected one.
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value
+
+
 def _build_workload(arguments: argparse.Namespace) -> Workload:
     if arguments.workload == "tpcc":
         return tpcc_workload(warehouses=arguments.warehouses)
@@ -356,6 +393,10 @@ def _serve(arguments: argparse.Namespace) -> int:
         ),
         cost_kernel=arguments.cost_kernel,
         shards=arguments.shards,
+        coalesce=not arguments.no_coalesce,
+        batch_window_ms=arguments.batch_window_ms,
+        coalesce_max_pairs=arguments.coalesce_max_pairs,
+        whatif_cache_entries=arguments.whatif_cache_entries,
         snapshot_dir=arguments.snapshot_dir,
         snapshot_interval_s=arguments.snapshot_interval,
         drain_timeout_s=arguments.drain_timeout,
@@ -477,7 +518,7 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical to vectorized)",
     )
     cost_flags.add_argument(
-        "--shards", type=int, default=None, metavar="N",
+        "--shards", type=_positive_int, default=None, metavar="N",
         help="worker processes for --cost-kernel sharded (default: "
         "machine cores clamped to [2, 8]); batches below the dispatch "
         "threshold stay in-process",
@@ -572,14 +613,41 @@ def main(argv: list[str] | None = None) -> int:
         parents=[workload_flags, cost_flags],
     )
     serve.add_argument(
-        "--max-concurrency", type=int, default=2, metavar="N",
+        "--max-concurrency", type=_positive_int, default=2,
+        metavar="N",
         help="requests executing concurrently (default 2)",
     )
     serve.add_argument(
-        "--queue-depth", type=int, default=8, metavar="N",
+        "--queue-depth", type=_positive_int, default=8, metavar="N",
         help="requests allowed to wait beyond the executing ones "
         "(default 8); submits past max-concurrency + queue-depth are "
         "rejected fail-fast",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=_positive_float, default=2.0,
+        metavar="MS",
+        help="micro-batch window of the cross-request pricing "
+        "coalescer: how long the first enqueued pair waits for "
+        "concurrent company before the fused batch dispatches "
+        "(default 2.0; skipped entirely while the service is idle)",
+    )
+    serve.add_argument(
+        "--coalesce-max-pairs", type=_positive_int, default=32768,
+        metavar="N",
+        help="fused-batch cap of the coalescer: a window closes early "
+        "once this many pairs are pending (default 32768)",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable cross-request pricing coalescing (every request "
+        "dispatches its own backend batches, as before)",
+    )
+    serve.add_argument(
+        "--whatif-cache-entries", type=_positive_int, default=None,
+        metavar="N",
+        help="LRU bound on the resident what-if cost cache per kernel "
+        "(default: unbounded); evictions surface as the "
+        "whatif.evictions gauge",
     )
     serve.add_argument(
         "--default-deadline", type=float, default=None,

@@ -22,6 +22,7 @@ through :class:`WhatIfOptimizer`, so call accounting is uniform.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Protocol, Sequence
 
@@ -89,6 +90,9 @@ class WhatIfStatistics:
 
     calls: int = 0
     cache_hits: int = 0
+    evictions: int = 0
+    """Cost-cache entries dropped by the optional LRU bound (0 on an
+    unbounded facade)."""
 
     @property
     def total_requests(self) -> int:
@@ -105,11 +109,14 @@ class WhatIfStatistics:
         """Zero all counters."""
         self.calls = 0
         self.cache_hits = 0
+        self.evictions = 0
 
     def copy(self) -> WhatIfStatistics:
         """Point-in-time copy (the live object mutates in place)."""
         return WhatIfStatistics(
-            calls=self.calls, cache_hits=self.cache_hits
+            calls=self.calls,
+            cache_hits=self.cache_hits,
+            evictions=self.evictions,
         )
 
     def since(self, earlier: WhatIfStatistics) -> WhatIfStatistics:
@@ -117,16 +124,18 @@ class WhatIfStatistics:
         return WhatIfStatistics(
             calls=self.calls - earlier.calls,
             cache_hits=self.cache_hits - earlier.cache_hits,
+            evictions=self.evictions - earlier.evictions,
         )
 
     def publish(self, registry, prefix: str = "whatif") -> None:
         """Bridge the counters into a telemetry
         :class:`~repro.telemetry.metrics.MetricsRegistry` as gauges
         (``<prefix>.calls``, ``<prefix>.cache_hits``,
-        ``<prefix>.hit_rate``)."""
+        ``<prefix>.hit_rate``, ``<prefix>.evictions``)."""
         registry.gauge(f"{prefix}.calls").set(self.calls)
         registry.gauge(f"{prefix}.cache_hits").set(self.cache_hits)
         registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
+        registry.gauge(f"{prefix}.evictions").set(self.evictions)
 
 
 def _encode_index_key(tail):
@@ -162,10 +171,30 @@ class WhatIfOptimizer:
     ----------
     cost_source:
         The backend that actually prices ``(query, index)`` pairs.
+    max_entries:
+        Optional LRU capacity of the cost cache.  ``None`` (default)
+        keeps the cache unbounded — a plain dict with zero hot-path
+        overhead.  With a bound, a resident daemon serving millions of
+        distinct queries holds at most ``max_entries`` cost entries:
+        hits refresh recency, inserts past capacity evict the least
+        recently used entry and count it in ``statistics.evictions``
+        (the ``whatif.evictions`` gauge).  The maintenance cache stays
+        unbounded — it only holds write-query × index entries, which
+        are few and statistics-derived.
     """
 
-    def __init__(self, cost_source: CostSource) -> None:
+    def __init__(
+        self,
+        cost_source: CostSource,
+        *,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self._source = cost_source
+        self._max_entries = max_entries
         # Cache keys are content-based — (query.cache_key, identity of
         # the index) — not query-id-based: costs do not depend on
         # frequencies or ids, so one facade can serve many workloads
@@ -173,13 +202,41 @@ class WhatIfOptimizer:
         # with full cache reuse.  Indexes are identified by their
         # attribute tuple alone (global attribute ids are owned by
         # exactly one table, so the tuple implies the table), which
-        # hashes at C speed in the per-pair hot loops.
-        self._cache: dict[tuple, float] = {}
+        # hashes at C speed in the per-pair hot loops.  The bounded
+        # variant is an OrderedDict so recency moves are O(1).
+        self._cache: dict[tuple, float] = (
+            OrderedDict() if max_entries is not None else {}
+        )
         self._maintenance_cache: dict[tuple, float] = {}
         self._statistics = WhatIfStatistics()
         # Guards cache/statistics mutation so the facade can be shared
         # by the evaluation engine's worker threads.
         self._lock = threading.Lock()
+
+    @property
+    def max_entries(self) -> int | None:
+        """The configured LRU bound (``None`` = unbounded)."""
+        return self._max_entries
+
+    def _admit(self, key: tuple, cost: float) -> float:
+        """Insert-or-keep one cost entry; evicts LRU past capacity.
+
+        Caller holds the lock.  Mirrors ``setdefault`` (the first
+        stored value wins); on a bounded cache the insert may push the
+        least recently used entry out, counted as an eviction.
+        """
+        stored = self._cache.setdefault(key, cost)
+        if self._max_entries is not None:
+            while len(self._cache) > self._max_entries:
+                self._cache.popitem(last=False)  # type: ignore[call-arg]
+                self._statistics.evictions += 1
+        return stored
+
+    def _touch(self, key: tuple) -> None:
+        """Refresh one key's recency (caller holds the lock; bounded
+        caches only — a no-op costs a branch the unbounded hot path
+        never takes because call sites gate on ``_max_entries``)."""
+        self._cache.move_to_end(key)  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     # Accounting
@@ -273,11 +330,18 @@ class WhatIfOptimizer:
             # membership filter covers cost, maintenance, and
             # multi-index entries uniformly.
             before = len(self._cache) + len(self._maintenance_cache)
-            self._cache = {
+            survivors = {
                 key: value
                 for key, value in self._cache.items()
                 if key[0] not in scope
             }
+            # Rebuilding must preserve the bounded variant's container
+            # (and its recency order, which the comprehension keeps).
+            self._cache = (
+                OrderedDict(survivors)
+                if self._max_entries is not None
+                else survivors
+            )
             self._maintenance_cache = {
                 key: value
                 for key, value in self._maintenance_cache.items()
@@ -362,6 +426,10 @@ class WhatIfOptimizer:
             installed += load(
                 self._maintenance_cache, entries.get("maintenance", ())
             )
+            if self._max_entries is not None:
+                while len(self._cache) > self._max_entries:
+                    self._cache.popitem(last=False)  # type: ignore[call-arg]
+                    self._statistics.evictions += 1
         return installed
 
     # ------------------------------------------------------------------
@@ -459,6 +527,14 @@ class WhatIfOptimizer:
                 ]
                 miss_count = results.count(None)
                 self._statistics.cache_hits += len(pairs) - miss_count
+                if (
+                    self._max_entries is not None
+                    and miss_count != len(pairs)
+                ):
+                    touch = self._cache.move_to_end  # type: ignore[attr-defined]
+                    for key, value in zip(keys, results):
+                        if value is not None:
+                            touch(key)
         if cold:
             # Cold cache (the whole-table sweep case): every key
             # misses, so skip the cached-value scan entirely.
@@ -481,11 +557,18 @@ class WhatIfOptimizer:
                             missing[key] = pairs[position]
             costs = backend_pairs(tuple(missing.values())).tolist()
             with self._lock:
-                cache_setdefault = self._cache.setdefault
-                costmap = {
-                    key: cache_setdefault(key, cost)
-                    for key, cost in zip(missing, costs)
-                }
+                if self._max_entries is None:
+                    cache_setdefault = self._cache.setdefault
+                    costmap = {
+                        key: cache_setdefault(key, cost)
+                        for key, cost in zip(missing, costs)
+                    }
+                else:
+                    admit = self._admit
+                    costmap = {
+                        key: admit(key, cost)
+                        for key, cost in zip(missing, costs)
+                    }
                 statistics = self._statistics
                 statistics.calls += len(missing)
                 statistics.cache_hits += miss_count - len(missing)
@@ -582,11 +665,13 @@ class WhatIfOptimizer:
             cached = self._cache.get(key)
             if cached is not None:
                 self._statistics.cache_hits += 1
+                if self._max_entries is not None:
+                    self._touch(key)
         if cached is None:
             cached = backend(query, applicable)
             with self._lock:
                 self._statistics.calls += 1
-                cached = self._cache.setdefault(key, cached)
+                cached = self._admit(key, cached)
         cost = cached
         if not query.is_select:
             cost += sum(
@@ -692,6 +777,8 @@ class WhatIfOptimizer:
             cached = self._cache.get(key)
             if cached is not None:
                 self._statistics.cache_hits += 1
+                if self._max_entries is not None:
+                    self._touch(key)
                 return cached
         # The backend call runs unlocked (it may be an expensive what-if
         # round trip); a racing worker that also misses counts as a call
@@ -700,7 +787,7 @@ class WhatIfOptimizer:
         cost = self._source.query_cost(query, index)
         with self._lock:
             self._statistics.calls += 1
-            return self._cache.setdefault(key, cost)
+            return self._admit(key, cost)
 
     def _lookup_batch(
         self, queries: tuple[Query, ...], index: Index | None
@@ -727,6 +814,8 @@ class WhatIfOptimizer:
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._statistics.cache_hits += 1
+                    if self._max_entries is not None:
+                        self._touch(key)
                     results[position] = cached
                     continue
                 entry = missing.get(key)
@@ -744,7 +833,7 @@ class WhatIfOptimizer:
                 ):
                     self._statistics.calls += 1
                     self._statistics.cache_hits += len(positions) - 1
-                    stored = self._cache.setdefault(key, float(cost))
+                    stored = self._admit(key, float(cost))
                     for position in positions:
                         results[position] = stored
         return np.array(results, dtype=np.float64)

@@ -14,6 +14,11 @@ the seeded chaos harness in :mod:`repro.service.chaos`
 (``python -m repro.service.chaos``).
 """
 
+from repro.service.coalescer import (
+    CoalescerStatistics,
+    PricingCoalescer,
+    waiter_deadline,
+)
 from repro.service.daemon import (
     AdvisorService,
     ServiceStatistics,
@@ -30,7 +35,9 @@ from repro.service.protocol import error_code, serve_loop
 
 __all__ = [
     "AdvisorService",
+    "CoalescerStatistics",
     "EventStream",
+    "PricingCoalescer",
     "RecommendRequest",
     "RecommendResponse",
     "RestoreReport",
@@ -41,4 +48,5 @@ __all__ = [
     "WorkloadRegistry",
     "error_code",
     "serve_loop",
+    "waiter_deadline",
 ]

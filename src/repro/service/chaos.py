@@ -48,6 +48,15 @@ Scenarios (``SCENARIOS``):
     requests past their deadline must degrade (not crash, not hang) and
     a manual watchdog sweep over a skewed clock must cancel only
     genuinely in-flight overdue work.
+``coalescer_waiter_storm``
+    A storm of concurrent cold requests fuses its pricing into shared
+    coalescer batches, and the shard pool is SIGKILLed while those
+    fused batches are in flight.  Every waiter must reach exactly one
+    terminal outcome (the resilient retry heals the lost batch for all
+    of them at once), the recommendations must stay bit-identical to a
+    healthy baseline, and the ``coalescer.*`` gauges must show the
+    storm actually coalesced (fused batches, nonzero cross-request
+    dedup).
 
 Scenarios use ``max_concurrency=1`` where the *report* depends on call
 order, so one seed always yields one report —
@@ -93,6 +102,7 @@ SCENARIOS = (
     "client_disconnect",
     "corrupt_snapshot",
     "clock_skew",
+    "coalescer_waiter_storm",
 )
 
 _BUDGET_SHARE = 0.3
@@ -577,6 +587,173 @@ class ChaosHarness:
                 report.violations.append(
                     "expected exactly 1 pool rebuild, shard "
                     f"statistics counted {statistics.pool_rebuilds}"
+                )
+        finally:
+            self._settle_and_check(service, tickets, report)
+            source.close()
+        return report
+
+    def _run_coalescer_waiter_storm(self) -> ScenarioReport:
+        report = ScenarioReport("coalescer_waiter_storm", self.seed)
+        rng = random.Random(self.seed)
+        storm_size = 4
+        # A dispatch floor of 1 forces every fused coalescer batch of
+        # this deliberately small workload through the real process
+        # pool, so the SIGKILL lands on work the waiters depend on.
+        source = ShardedCostSource(
+            self._schema, shards=2, min_dispatch_pairs=1
+        )
+        # A generous window guarantees the storm's racing cold misses
+        # actually meet inside it and fuse (the point of the scenario);
+        # the idle fast path keeps the serial baseline request quick.
+        service = AdvisorService(
+            self._schema,
+            max_concurrency=storm_size,
+            queue_depth=storm_size,
+            cost_source=source,
+            batch_window_ms=75.0,
+            drain_timeout_s=5.0,
+        )
+        tickets: list = []
+        try:
+            # Separate registrations for the same workload: the storm
+            # must price cold through the pool, not read the baseline
+            # request's warm benefit tables.
+            service.register_workload("storm-warm", self._workload)
+            service.register_workload("storm-cold", self._workload)
+            baseline_ticket = service.submit(
+                RecommendRequest(
+                    workload="storm-warm",
+                    budget_share=_BUDGET_SHARE,
+                    request_id="storm-0",
+                )
+            )
+            tickets.append(baseline_ticket)
+            baseline = baseline_ticket.result(timeout_s=_OUTCOME_WAIT_S)
+            baseline_dispatches = source.statistics.dispatches
+            if baseline_dispatches == 0:
+                report.violations.append(
+                    "baseline request never dispatched to the shard "
+                    "pool; scenario vacuous"
+                )
+            # The facade cache is shared and content-addressed;
+            # dropping it forces the storm to genuinely re-price
+            # through coalescer -> resilient -> pool.
+            _, optimizer = service.kernel_stacks.stack("vectorized")
+            optimizer.clear_cache()
+            coalescer = service.coalescer("vectorized")
+            if coalescer is None:
+                report.violations.append(
+                    "service built no coalescer for the vectorized "
+                    "stack; scenario vacuous"
+                )
+                return report
+            before = coalescer.statistics.copy()
+
+            # The assassin waits for the first storm batch to reach
+            # the pool, then SIGKILLs every worker (seed-scripted
+            # order) — mid-fused-batch, while the followers of that
+            # batch are blocked on its shared work items.
+            def _assassinate() -> None:
+                deadline = time.monotonic() + _OUTCOME_WAIT_S
+                while (
+                    source.statistics.dispatches <= baseline_dispatches
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.001)
+                victims = source.worker_pids()
+                rng.shuffle(victims)
+                for pid in victims:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:  # pragma: no cover
+                        pass
+                report.details["workers_killed"] = len(victims)
+
+            assassin = threading.Thread(
+                target=_assassinate, name="chaos-assassin", daemon=True
+            )
+            assassin.start()
+            storm = [
+                service.submit(
+                    RecommendRequest(
+                        workload="storm-cold",
+                        budget_share=_BUDGET_SHARE,
+                        request_id=f"storm-{position + 1}",
+                    )
+                )
+                for position in range(storm_size)
+            ]
+            tickets.extend(storm)
+            responses = [
+                ticket.result(timeout_s=_OUTCOME_WAIT_S)
+                for ticket in storm
+            ]
+            assassin.join(timeout=_OUTCOME_WAIT_S)
+            report.details["storm_waiters"] = storm_size
+            for response in responses:
+                if response.status != "completed":
+                    report.violations.append(
+                        f"storm request {response.request_id} "
+                        f"finished {response.status!r}, expected a "
+                        "clean completion"
+                    )
+                if response.indexes != baseline.indexes:
+                    report.violations.append(
+                        f"storm request {response.request_id} "
+                        "recommendation differs from the healthy "
+                        "baseline configuration"
+                    )
+                if (
+                    response.result.total_cost
+                    != baseline.result.total_cost
+                ):
+                    report.violations.append(
+                        f"storm request {response.request_id} total "
+                        f"cost {response.result.total_cost!r} is not "
+                        "bit-identical to the baseline "
+                        f"{baseline.result.total_cost!r}"
+                    )
+                if "coalescer.batches" not in response.gauges:
+                    report.violations.append(
+                        f"storm request {response.request_id} "
+                        "response carries no coalescer.* gauges"
+                    )
+            storm_stats = coalescer.statistics.copy()
+            fused = storm_stats.batches - before.batches
+            deduped = (
+                storm_stats.deduped_pairs - before.deduped_pairs
+            )
+            # Raw batch/failure counts depend on where exactly the
+            # kill lands relative to in-flight batches; the report
+            # keeps only their seed-stable truth values.
+            report.details["storm_coalesced"] = fused >= 1
+            report.details["storm_deduped"] = deduped > 0
+            report.details["batch_lost"] = (
+                source.statistics.worker_failures >= 1
+            )
+            report.details["pool_rebuilt"] = (
+                source.statistics.pool_rebuilds >= 1
+            )
+            if fused < 1:
+                report.violations.append(
+                    "the storm never dispatched a fused coalescer "
+                    "batch; scenario vacuous"
+                )
+            if deduped <= 0:
+                report.violations.append(
+                    "concurrent storm requests shared no work items "
+                    "(coalescer.deduped_pairs flat); the storm never "
+                    "coalesced"
+                )
+            if source.statistics.worker_failures < 1:
+                report.violations.append(
+                    "killing the pool mid-batch lost no shard batch "
+                    "(worker_failures flat); the kill missed"
+                )
+            if source.statistics.pool_rebuilds < 1:
+                report.violations.append(
+                    "the lost batch never forced a pool rebuild"
                 )
         finally:
             self._settle_and_check(service, tickets, report)

@@ -21,7 +21,13 @@ def test_unknown_scenario_rejected():
 
 
 @pytest.mark.parametrize(
-    "scenario", ["malformed_lines", "clock_skew", "shard_worker_death"]
+    "scenario",
+    [
+        "malformed_lines",
+        "clock_skew",
+        "shard_worker_death",
+        "coalescer_waiter_storm",
+    ],
 )
 def test_same_seed_same_report(scenario):
     """One seed, one report: the harness is usable as a regression

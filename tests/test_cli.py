@@ -341,3 +341,51 @@ class TestErrorHandling:
         monkeypatch.setattr(cli_module, "_advise", boom)
         with pytest.raises(RuntimeError, match="programming error"):
             main(["advise", "--budget", "0.3"])
+
+
+class TestArgumentValidation:
+    """Non-positive numeric flags die in argparse, not deep in a
+    half-started service."""
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_advise_rejects_non_positive_shards(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["advise", "--budget", "0.3", "--shards", value])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag",
+        [
+            "--shards",
+            "--max-concurrency",
+            "--queue-depth",
+            "--coalesce-max-pairs",
+            "--whatif-cache-entries",
+        ],
+    )
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_serve_rejects_non_positive_integers(
+        self, capsys, flag, value
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+        assert "positive integer" in err
+
+    @pytest.mark.parametrize("value", ["0", "-0.5", "nan"])
+    def test_serve_rejects_non_positive_window(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--batch-window-ms", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--batch-window-ms" in err
+        assert "positive number" in err
+
+    def test_non_numeric_values_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--queue-depth", "many"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
