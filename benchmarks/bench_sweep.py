@@ -1,0 +1,331 @@
+"""Benchmark: shared multi-budget sweep engine vs naive per-budget loop.
+
+Replays a 10-point budget sweep (``w = 0.01 .. 0.1``, the Fig. 4 grid
+densified) over the fig4-scale enterprise workload (scale 0.3, seed
+500 — the same shape ``bench_cost_kernel.py`` uses) two ways:
+
+* **naive** — the historical frontier loop as a client would run it
+  standalone: a fresh what-if facade and a fresh
+  :class:`ExtendAlgorithm` per budget point, every point re-pricing its
+  candidates from scratch;
+* **shared** — :func:`repro.core.sweep.sweep_select`: points run
+  descending over one warm cost-column store, so a candidate priced at
+  the largest budget is never re-priced at a smaller one.
+
+Both sweeps must produce bit-identical step traces point for point
+(the warm-store invariant); the shared engine must make **>= 5x fewer
+backend what-if calls**.  The **>= 3x wall-clock** headline is measured
+against a modeled plan-costing backend charging a fixed
+``CALL_LATENCY_S`` per what-if call (the regime the paper targets —
+hypothetical-index optimizer calls cost milliseconds, not the
+microseconds of our in-process analytic model, whose sweeps are
+dominated by selection overhead rather than pricing).  The raw
+analytic-backend timings are reported alongside for reference.
+
+Also usable standalone for the CI regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py                # print table
+    PYTHONPATH=src python benchmarks/bench_sweep.py --check        # compare vs baseline
+    PYTHONPATH=src python benchmarks/bench_sweep.py --write-baseline
+
+``--check`` exits non-zero when the shared engine's backend-call count
+(or its per-point reprice shape) drifts from the committed baseline
+(``baselines/sweep_fig4.json``) by more than 10%, or when either
+headline ratio is lost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.extend import ExtendAlgorithm
+from repro.core.sweep import parse_budget_sweep, sweep_select
+from repro.cost.model import CostModel
+from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
+from repro.indexes.memory import relative_budget
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    generate_enterprise_workload,
+)
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "sweep_fig4.json"
+TOLERANCE = 0.10
+
+# Fig. 4 shape at the bench_cost_kernel scale: 150 tables, ~680 query
+# templates, every budget in the paper's [0, 0.1] regime.
+FIG4_SCALED = EnterpriseConfig(scale=0.3, seed=500)
+SWEEP_SPEC = "0.01:0.1:10"
+
+# Modeled per-call cost of a plan-costing backend (hypothetical-index
+# what-if calls against a real optimizer sit in the 0.1-10 ms range;
+# 250 us is the conservative end).  Charged as a busy-wait so the
+# timing gate is robust against sleep() granularity.
+CALL_LATENCY_S = 250e-6
+
+WALLCLOCK_FLOOR = 3.0
+CALL_RATIO_FLOOR = 5.0
+
+
+class _MeteredSource:
+    """A scalar plan-costing backend: counts calls, charges latency."""
+
+    def __init__(self, inner, latency_s: float = 0.0) -> None:
+        self._inner = inner
+        self._latency_s = latency_s
+        self.calls = 0
+
+    def _charge(self) -> None:
+        self.calls += 1
+        if self._latency_s > 0.0:
+            end = time.perf_counter() + self._latency_s
+            while time.perf_counter() < end:
+                pass
+
+    def query_cost(self, query, index) -> float:
+        self._charge()
+        return self._inner.query_cost(query, index)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _optimizer(schema, latency_s: float):
+    return WhatIfOptimizer(
+        _MeteredSource(
+            AnalyticalCostSource(CostModel(schema)), latency_s
+        )
+    )
+
+
+def _run_naive(workload, shares, latency_s: float):
+    """Standalone per-budget runs: fresh facade + algorithm per point."""
+    traces = {}
+    calls = 0
+    started = time.perf_counter()
+    for share in shares:
+        optimizer = _optimizer(workload.schema, latency_s)
+        result = ExtendAlgorithm(optimizer).select(
+            workload, relative_budget(workload.schema, share)
+        )
+        calls += optimizer.calls
+        traces[share] = result.step_trace()
+    return traces, calls, time.perf_counter() - started
+
+
+def _run_shared(workload, shares, latency_s: float):
+    optimizer = _optimizer(workload.schema, latency_s)
+    started = time.perf_counter()
+    sweep = sweep_select(workload, optimizer, shares)
+    return sweep, optimizer.calls, time.perf_counter() - started
+
+
+def measure(latency_s: float = CALL_LATENCY_S, workload=None) -> dict:
+    """One full naive-vs-shared comparison at fig4 scale."""
+    if workload is None:
+        workload = generate_enterprise_workload(FIG4_SCALED)
+    shares = parse_budget_sweep(SWEEP_SPEC)
+
+    naive_traces, naive_calls, naive_seconds = _run_naive(
+        workload, shares, latency_s
+    )
+    sweep, shared_calls, shared_seconds = _run_shared(
+        workload, shares, latency_s
+    )
+
+    for point in sweep.points:
+        if point.result.step_trace() != naive_traces[point.budget_share]:
+            raise AssertionError(
+                "shared sweep diverged from the standalone run at "
+                f"w={point.budget_share}"
+            )
+
+    statistics = sweep.statistics
+    return {
+        "points": len(shares),
+        "naive_calls": naive_calls,
+        "shared_calls": shared_calls,
+        "call_ratio": round(naive_calls / max(1, shared_calls), 2),
+        "naive_seconds": round(naive_seconds, 3),
+        "shared_seconds": round(shared_seconds, 3),
+        "wallclock_speedup": round(
+            naive_seconds / max(1e-9, shared_seconds), 2
+        ),
+        "reprice_calls": statistics.reprice_count,
+        "reuse_rate": round(statistics.reuse_rate, 4),
+        "point_calls": [point.whatif_calls for point in sweep.points],
+        "steps_total": sum(
+            len(point.result.steps) for point in sweep.points
+        ),
+    }
+
+
+def measure_all() -> dict:
+    """Both regimes over one workload build.
+
+    ``analytic`` (zero-latency in-process backend) carries the
+    machine-stable call accounting the baseline gates; ``plan_costing``
+    (modeled latency) carries the wall-clock headline.
+    """
+    workload = generate_enterprise_workload(FIG4_SCALED)
+    return {
+        "analytic": measure(0.0, workload),
+        "plan_costing": measure(CALL_LATENCY_S, workload),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_shared_sweep_call_savings(benchmark):
+    """>= 5x fewer backend calls, bit-identical step traces."""
+    results = benchmark.pedantic(
+        measure, args=(0.0,), rounds=1, iterations=1
+    )
+    assert results["call_ratio"] >= CALL_RATIO_FLOOR
+    # The savings come from the shared store actually being reused.
+    assert results["reuse_rate"] > 0.5
+
+
+def test_shared_sweep_wallclock_speedup(benchmark):
+    """>= 3x faster against a modeled plan-costing backend."""
+    results = benchmark.pedantic(
+        measure, args=(CALL_LATENCY_S,), rounds=1, iterations=1
+    )
+    assert results["wallclock_speedup"] >= WALLCLOCK_FLOOR
+
+
+def test_sweep_within_committed_baseline(benchmark):
+    """Regression gate: stay within 10% of the committed shapes."""
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    failures = compare_to_baseline(results)
+    assert not failures, "\n".join(failures)
+
+
+# ----------------------------------------------------------------------
+# standalone CLI (CI regression gate)
+# ----------------------------------------------------------------------
+
+
+def compare_to_baseline(results: dict) -> list[str]:
+    """Non-empty list of violation messages on regression."""
+    if not BASELINE_PATH.exists():
+        return [
+            f"missing baseline {BASELINE_PATH}; run with --write-baseline"
+        ]
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    failures = []
+    analytic = results["analytic"]
+    reference = baseline["analytic"]
+    for key in ("shared_calls", "naive_calls"):
+        limit = reference[key] * (1 + TOLERANCE)
+        if analytic[key] > limit:
+            failures.append(
+                f"analytic.{key} {analytic[key]} exceeds baseline "
+                f"{reference[key]} by more than {TOLERANCE:.0%}"
+            )
+    # Reprice creep is the early symptom of losing warm reuse; small
+    # absolute counts make a ratio gate noisy, so allow tolerance plus
+    # a small absolute slack.
+    reprice_limit = reference["reprice_calls"] * (1 + TOLERANCE) + 5
+    if analytic["reprice_calls"] > reprice_limit:
+        failures.append(
+            f"analytic.reprice_calls {analytic['reprice_calls']} "
+            f"exceeds baseline {reference['reprice_calls']}"
+        )
+    if analytic["steps_total"] != reference["steps_total"]:
+        failures.append(
+            f"analytic.steps_total {analytic['steps_total']} != "
+            f"baseline {reference['steps_total']} (selection drifted)"
+        )
+    if analytic["call_ratio"] < CALL_RATIO_FLOOR:
+        failures.append(
+            f"call_ratio {analytic['call_ratio']} below the "
+            f">= {CALL_RATIO_FLOOR}x headline floor"
+        )
+    speedup = results["plan_costing"]["wallclock_speedup"]
+    if speedup < WALLCLOCK_FLOOR:
+        failures.append(
+            f"plan-costing wallclock_speedup {speedup} below the "
+            f">= {WALLCLOCK_FLOOR}x headline floor"
+        )
+    return failures
+
+
+def _print_table(results: dict) -> None:
+    header = (
+        f"{'backend':>14} {'naive':>8} {'shared':>8} {'ratio':>6} "
+        f"{'naive_s':>8} {'shared_s':>9} {'speedup':>8} {'reuse':>6}"
+    )
+    print(header)
+    for label, row in results.items():
+        print(
+            f"{label:>14} {row['naive_calls']:>8} "
+            f"{row['shared_calls']:>8} {row['call_ratio']:>6.2f} "
+            f"{row['naive_seconds']:>8.3f} {row['shared_seconds']:>9.3f} "
+            f"{row['wallclock_speedup']:>8.2f} {row['reuse_rate']:>6.2f}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when sweep shapes regress vs the committed baseline",
+    )
+    group.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the committed baseline from the current run",
+    )
+    arguments = parser.parse_args(argv)
+
+    results = measure_all()
+    _print_table(results)
+
+    if arguments.write_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "workload": (
+                        "fig4 enterprise scale=0.3 seed=500, "
+                        f"sweep {SWEEP_SPEC}"
+                    ),
+                    "call_latency_s": CALL_LATENCY_S,
+                    "tolerance": TOLERANCE,
+                    "analytic": results["analytic"],
+                    "plan_costing": {
+                        key: results["plan_costing"][key]
+                        for key in (
+                            "wallclock_speedup",
+                            "naive_seconds",
+                            "shared_seconds",
+                        )
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if arguments.check:
+        failures = compare_to_baseline(results)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,14 @@ from repro.cophy.solver import CoPhyAlgorithm
 from repro.core.evaluation import EvaluationConfig, WarmBenefitStore
 from repro.core.extend import ExtendAlgorithm
 from repro.core.localsearch import swap_local_search
+from repro.core.frontier import Frontier
 from repro.core.steps import STATUS_DEGRADED, SelectionResult
+from repro.core.sweep import (
+    SweepPoint,
+    SweepResult,
+    normalize_budget_shares,
+    sweep_select,
+)
 from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
 from repro.cost.shard import ShardedCostSource
@@ -409,6 +416,49 @@ class Recommendation:
         ]
 
 
+@dataclass(frozen=True)
+class SweepRecommendation:
+    """A whole cost/memory frontier answered in one advisor call."""
+
+    workload: Workload
+    sweep: SweepResult
+    telemetry: TelemetrySnapshot = TelemetrySnapshot()
+
+    @property
+    def frontier(self) -> Frontier:
+        """The answered points as a cost vs. budget-share frontier."""
+        return self.sweep.frontier
+
+    @property
+    def points(self) -> tuple[SweepPoint, ...]:
+        """Per-budget points, in the caller's share order."""
+        return self.sweep.points
+
+    @property
+    def results(self) -> tuple[SelectionResult, ...]:
+        """Per-budget selection results, in the caller's share order."""
+        return self.sweep.results
+
+    @property
+    def partial(self) -> bool:
+        """True when the sweep was truncated by its deadline."""
+        return self.sweep.partial
+
+    def indexes_at(self, budget_share: float) -> list[str] | None:
+        """Human-readable index labels of one answered budget point."""
+        point = self.sweep.point_for(budget_share)
+        if point is None:
+            return None
+        schema = self.workload.schema
+        return [
+            index.label(schema)
+            for index in sorted(
+                point.result.configuration,
+                key=lambda index: (index.table_name, index.attributes),
+            )
+        ]
+
+
 class IndexAdvisor:
     """Recommends index configurations for workloads on one schema.
 
@@ -686,5 +736,85 @@ class IndexAdvisor:
             workload=resolved,
             result=result,
             report=report,
+            telemetry=telemetry.snapshot(),
+        )
+
+    def recommend_sweep(
+        self,
+        workload: Workload
+        | Sequence[str]
+        | Sequence[tuple[str, float]]
+        | Iterable[Query],
+        *,
+        budget_shares: Sequence[float],
+        deadline_s: float | None = None,
+        parallelism: int = 1,
+        naive_evaluation: bool = False,
+        cost_kernel: str | None = None,
+        warm_store: WarmBenefitStore | None = None,
+    ) -> SweepRecommendation:
+        """Answer every budget share with one shared pricing pass.
+
+        The multi-budget companion of :meth:`recommend`: instead of one
+        budget, take the whole grid and run Extend through the shared
+        sweep engine (:func:`repro.core.sweep.sweep_select`) — shares
+        execute descending over one warm cost-column store, so the full
+        frontier costs roughly one recommendation's worth of backend
+        calls while every point stays bit-identical to a standalone
+        :meth:`recommend` with ``algorithm="extend"`` at that budget
+        (the swap local search of the ``extend+swap`` default is a
+        separate post-pass and is not swept).
+
+        ``budget_shares`` are strict request inputs: each must lie in
+        ``(0, 1]`` and duplicates are rejected
+        (:func:`~repro.core.sweep.normalize_budget_shares`).  Under an
+        expired ``deadline_s`` the sweep degrades to the points already
+        answered (``result.partial``) rather than failing.  Extend is
+        the only swept algorithm — it is the one whose construction is
+        budget-independent.
+        """
+        shares = normalize_budget_shares(budget_shares)
+        kernel = (
+            cost_kernel if cost_kernel is not None else self._default_kernel
+        )
+        if kernel not in _COST_KERNELS:
+            raise ExperimentError(
+                f"unknown cost kernel {kernel!r}; pick one of "
+                f"{', '.join(_COST_KERNELS)}"
+            )
+        resolved = self._coerce_workload(workload)
+        resilient, optimizer = self._kernel_stacks.stack(kernel)
+        telemetry = self._telemetry
+        evaluation = EvaluationConfig(
+            naive=naive_evaluation, parallelism=parallelism
+        )
+        with telemetry.tracer.span(
+            "advisor.recommend_sweep", points=len(shares)
+        ):
+            sweep = sweep_select(
+                resolved,
+                optimizer,
+                shares,
+                telemetry=telemetry,
+                warm_store=warm_store,
+                evaluation=evaluation,
+                deadline=Deadline(deadline_s),
+            )
+        if telemetry.enabled:
+            telemetry.record_whatif(optimizer.statistics)
+            telemetry.record_resilience(resilient.statistics)
+            kernel_statistics = (
+                self._kernel_stacks.vectorized_statistics()
+            )
+            if kernel_statistics is not None:
+                telemetry.record_kernel(kernel_statistics)
+            shard_statistics = (
+                self._kernel_stacks.shard_statistics()
+            )
+            if shard_statistics is not None:
+                telemetry.record_kernel(shard_statistics)
+        return SweepRecommendation(
+            workload=resolved,
+            sweep=sweep,
             telemetry=telemetry.snapshot(),
         )

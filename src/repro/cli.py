@@ -56,6 +56,7 @@ from repro.cophy.solver import CoPhyAlgorithm
 from repro.core.evaluation import EvaluationConfig
 from repro.core.extend import ExtendAlgorithm
 from repro.core.steps import SelectionResult, format_steps
+from repro.core.sweep import parse_budget_sweep, sweep_select
 from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
 from repro.cost.shard import ShardedCostSource
@@ -142,6 +143,27 @@ def _positive_float(text: str) -> float:
             f"expected a positive number, got {value}"
         )
     return value
+
+
+def _budget_sweep_spec(text: str) -> tuple[float, ...]:
+    """Argparse ``type=`` for ``--budget-sweep LOW:HIGH:STEPS``.
+
+    Builds on the positive-number validators so a bad spec is a
+    one-line usage error, then delegates range/duplicate checking to
+    :func:`repro.core.sweep.parse_budget_sweep`.  Returns the parsed
+    budget shares.
+    """
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected LOW:HIGH:STEPS (e.g. 0.1:1.0:10), got {text!r}"
+        )
+    low, high = _positive_float(parts[0]), _positive_float(parts[1])
+    steps = _positive_int(parts[2])
+    try:
+        return parse_budget_sweep(f"{low}:{high}:{steps}")
+    except ExperimentError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _build_workload(arguments: argparse.Namespace) -> Workload:
@@ -255,6 +277,122 @@ def _build_cost_stack(
     return WhatIfOptimizer(resilient), resilient, injector, kernel
 
 
+def _telemetry_from_arguments(arguments: argparse.Namespace):
+    """The advise telemetry session per ``--trace``/``--metrics``.
+
+    Returns ``None`` (after printing the usage error) when the trace
+    path is unwritable — failing fast beats crashing at the first lazy
+    emit mid-selection.
+    """
+    if not (arguments.trace or arguments.metrics):
+        return NULL_TELEMETRY
+    sinks: tuple[JsonLinesSink, ...] = ()
+    if arguments.trace:
+        try:
+            open(arguments.trace, "w", encoding="utf-8").close()
+        except OSError as error:
+            print(
+                f"error: cannot write trace file: {error}",
+                file=sys.stderr,
+            )
+            return None
+        sinks = (JsonLinesSink(arguments.trace),)
+    return Telemetry(sinks=sinks)
+
+
+def _advise_sweep(
+    arguments: argparse.Namespace,
+    workload: Workload,
+    optimizer: WhatIfOptimizer,
+    resilient: ResilientCostSource,
+    injector: FaultInjectingCostSource | None,
+    kernel,
+    deadline: Deadline,
+) -> int:
+    """The ``advise --budget-sweep`` path: one shared-engine frontier."""
+    if arguments.algorithm != "extend":
+        raise ExperimentError(
+            "--budget-sweep answers the frontier with the shared Extend "
+            f"engine; it does not combine with --algorithm "
+            f"{arguments.algorithm!r}"
+        )
+    shares = arguments.budget_sweep
+    telemetry = _telemetry_from_arguments(arguments)
+    if telemetry is None:
+        return 2
+    print(
+        f"Workload: {workload.query_count} queries over "
+        f"{workload.schema.attribute_count} attributes; "
+        f"budget sweep w={shares[0]:g}..{shares[-1]:g} "
+        f"({len(shares)} points, shared engine)"
+    )
+    sweep = sweep_select(
+        workload,
+        optimizer,
+        shares,
+        telemetry=telemetry,
+        evaluation=EvaluationConfig(
+            naive=arguments.naive_evaluation,
+            parallelism=arguments.parallelism,
+        ),
+        deadline=deadline,
+    )
+    baseline = optimizer.workload_cost(workload, ())
+    print(
+        f"\n{'w':>6}  {'budget bytes':>14}  {'total cost':>12}  "
+        f"{'memory':>12}  {'steps':>5}  {'calls':>6}  {'time':>7}"
+    )
+    for point in sweep.points:
+        result = point.result
+        print(
+            f"{point.budget_share:>6g}  {point.budget_bytes:>14,.0f}  "
+            f"{result.total_cost:>12.6g}  {result.memory:>12,.0f}  "
+            f"{len(result.steps):>5}  {point.whatif_calls:>6}  "
+            f"{result.runtime_seconds:>6.2f}s"
+            + ("  (degraded)" if result.degraded else "")
+        )
+    statistics = sweep.statistics
+    print(
+        f"\nBackend what-if calls: {statistics.backend_calls:,} for "
+        f"{statistics.completed_points} points "
+        f"(warm reuse {statistics.reuse_rate:.1%}, "
+        f"reprice {statistics.reprice_count:,})"
+    )
+    print(f"Cost without indexes: {baseline:.6g}")
+    if sweep.partial:
+        skipped = ", ".join(f"{w:g}" for w in sweep.skipped_shares)
+        print(
+            "note: partial frontier — unanswered budget shares: "
+            f"{skipped}"
+        )
+    for note in sweep.notes:
+        print(f"note: {note}")
+    if injector is not None:
+        resilience_stats = resilient.statistics
+        print(
+            f"Resilience: {injector.statistics.injected_failures:,} "
+            f"injected faults, {resilience_stats.retries:,} retries, "
+            f"{resilience_stats.fallback_calls:,} fallback calls, "
+            f"breaker {resilience_stats.breaker_state.name.lower()}"
+        )
+    if isinstance(kernel, ShardedCostSource):
+        kernel.close()
+    if telemetry.enabled:
+        optimizer.statistics.publish(telemetry.metrics)
+        resilient.statistics.publish(telemetry.metrics)
+        if kernel is not None:
+            kernel.statistics.publish(telemetry.metrics)
+        if injector is not None:
+            injector.statistics.publish(telemetry.metrics)
+        if arguments.metrics:
+            print("\nTelemetry metrics:")
+            print(render_metrics_table(telemetry.metrics.snapshot()))
+        telemetry.close()
+        if arguments.trace:
+            print(f"\nTrace written to {arguments.trace}")
+    return 0
+
+
 def _advise(arguments: argparse.Namespace) -> int:
     workload = _build_workload(arguments)
     optimizer, resilient, injector, kernel = _build_cost_stack(
@@ -274,29 +412,20 @@ def _advise(arguments: argparse.Namespace) -> int:
             f"{compression.dropped} dropped)"
         )
     deadline = Deadline(arguments.deadline)
+    if arguments.budget_sweep is not None:
+        return _advise_sweep(
+            arguments, workload, optimizer, resilient, injector,
+            kernel, deadline,
+        )
     budget = relative_budget(workload.schema, arguments.budget)
     print(
         f"Workload: {workload.query_count} queries over "
         f"{workload.schema.attribute_count} attributes; "
         f"budget w={arguments.budget} ({budget:,.0f} bytes)"
     )
-    if arguments.trace or arguments.metrics:
-        sinks: tuple[JsonLinesSink, ...] = ()
-        if arguments.trace:
-            # Fail fast on an unwritable path instead of crashing at
-            # the first lazy emit mid-selection.
-            try:
-                open(arguments.trace, "w", encoding="utf-8").close()
-            except OSError as error:
-                print(
-                    f"error: cannot write trace file: {error}",
-                    file=sys.stderr,
-                )
-                return 2
-            sinks = (JsonLinesSink(arguments.trace),)
-        telemetry: Telemetry = Telemetry(sinks=sinks)
-    else:
-        telemetry = NULL_TELEMETRY
+    telemetry = _telemetry_from_arguments(arguments)
+    if telemetry is None:
+        return 2
     result = _run_algorithm(
         arguments, workload, optimizer, budget, telemetry, deadline
     )
@@ -554,6 +683,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     advise.add_argument("--budget", type=float, default=0.3,
                         help="budget share w of Eq. 10 (default 0.3)")
+    advise.add_argument(
+        "--budget-sweep", type=_budget_sweep_spec, default=None,
+        metavar="LOW:HIGH:STEPS",
+        help="answer a whole cost/memory frontier instead of one "
+             "budget: STEPS evenly spaced shares in [LOW, HIGH] "
+             "(e.g. 0.1:1.0:10), priced once through the shared sweep "
+             "engine; overrides --budget",
+    )
     advise.add_argument(
         "--candidates", type=int, default=0,
         help="H1-M candidate count for two-step algorithms "

@@ -39,6 +39,7 @@ Optional extensions of Remark 1 are available as constructor flags; see
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass
 
@@ -49,6 +50,7 @@ from repro.core.evaluation import (
     BenefitTable,
     CandidateMove,
     EvaluationConfig,
+    EvaluationStatistics,
     WarmBenefitStore,
 )
 from repro.core.steps import (
@@ -194,10 +196,28 @@ class ExtendAlgorithm:
         self._skip_oversized = skip_oversized
         self._evaluation = evaluation or EvaluationConfig()
         self._warm_store = warm_store
+        self.last_evaluation_statistics: EvaluationStatistics | None = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+
+    def with_warm_store(
+        self, warm_store: WarmBenefitStore | None
+    ) -> ExtendAlgorithm:
+        """A copy of this algorithm bound to ``warm_store``.
+
+        The warm-start entry point of the multi-budget sweep engine
+        (:mod:`repro.core.sweep`): ablation factories keep configuring
+        the algorithm however they like, and the engine re-binds the
+        product to its shared store without knowing the constructor
+        arguments.  The copy shares no mutable selection state — every
+        ``select`` call builds its construction state from scratch.
+        """
+        clone = copy.copy(self)
+        clone._warm_store = warm_store
+        clone.last_evaluation_statistics = None
+        return clone
 
     def select(
         self,
@@ -317,6 +337,7 @@ class ExtendAlgorithm:
                             )
 
             state.close()
+            self.last_evaluation_statistics = state.evaluation_statistics
             runtime = time.perf_counter() - started
             configuration = state.configuration
             reconfiguration_cost = self._reconfiguration.cost(

@@ -8,13 +8,16 @@ reports.  This module holds the pieces they share.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cophy.solver import CoPhyAlgorithm
+from repro.core.evaluation import WarmBenefitStore
 from repro.core.extend import ExtendAlgorithm
 from repro.core.frontier import Frontier, FrontierPoint
 from repro.core.steps import SelectionResult
+from repro.core.sweep import sweep_points_parallel, sweep_select
 from repro.cost.kernel import VectorizedCostSource
 from repro.cost.model import CostModel
 from repro.cost.whatif import AnalyticalCostSource, WhatIfOptimizer
@@ -42,12 +45,25 @@ class BudgetSweepSeries:
     points: list[tuple[float, float]] = field(default_factory=list)
     runtimes: list[float] = field(default_factory=list)
     whatif_calls: int = 0
+    point_whatif_calls: list[int] = field(default_factory=list)
+    """Backend what-if calls attributed to each point, parallel to
+    ``points``.  Under the shared sweep engine the first *executed*
+    (largest-budget) point carries nearly all of them; under thread
+    fan-out the attribution is approximate (concurrent points share one
+    facade) while ``whatif_calls`` stays exact for the whole loop."""
     notes: list[str] = field(default_factory=list)
 
-    def add(self, w: float, cost: float, runtime: float) -> None:
+    def add(
+        self,
+        w: float,
+        cost: float,
+        runtime: float,
+        whatif_calls: int = 0,
+    ) -> None:
         """Record one (budget share, cost) sample."""
         self.points.append((w, cost))
         self.runtimes.append(runtime)
+        self.point_whatif_calls.append(whatif_calls)
 
     @property
     def frontier(self) -> Frontier:
@@ -94,12 +110,21 @@ def analytic_optimizer(
 def budget_grid(
     low: float, high: float, steps: int
 ) -> list[float]:
-    """Evenly spaced budget shares in ``[low, high]`` (inclusive)."""
+    """Evenly spaced budget shares in ``[low, high]`` (inclusive).
+
+    Budget shares are relative to the all-singles footprint (Eq. 10),
+    so the grid must stay inside ``0 <= low < high <= 1``; the figure
+    harnesses anchor at ``low = 0`` (the no-index point).  Strictly
+    positive user-supplied sweep inputs go through
+    :func:`repro.core.sweep.normalize_budget_shares` instead.
+    """
     if steps < 2:
         raise ExperimentError(f"need >= 2 budget steps, got {steps}")
-    if not 0 <= low < high:
+    if not 0 <= low < high <= 1:
         raise ExperimentError(
-            f"invalid budget range [{low}, {high}]"
+            f"invalid budget range [{low}, {high}]; shares are "
+            "relative to the all-singles footprint and must satisfy "
+            "0 <= low < high <= 1"
         )
     width = (high - low) / (steps - 1)
     return [low + width * step for step in range(steps)]
@@ -132,33 +157,85 @@ def sweep_extend(
     cost_fn: Callable[[SelectionResult], float] | None = None,
     telemetry: Telemetry | None = None,
     verbose: bool = False,
+    engine: str = "shared",
+    warm_store: WarmBenefitStore | None = None,
 ) -> BudgetSweepSeries:
     """Run Extend once per budget share.
+
+    ``engine`` picks how the per-budget runs share work:
+
+    * ``"shared"`` (default) routes through the multi-budget engine of
+      :mod:`repro.core.sweep` — shares run **descending** over one warm
+      cost-column store, so the frontier costs roughly one run's worth
+      of backend calls.  Every point stays bit-identical to its
+      standalone run; the series still reports points in the caller's
+      share order.
+    * ``"naive"`` is the historical loop: a fresh
+      :class:`ExtendAlgorithm` per budget, ascending, re-pricing
+      through the facade cache each time.
 
     All timing flows through the shared telemetry tracer; pass an
     enabled session via ``telemetry`` to keep the spans (and the
     per-step event log), otherwise a throwaway session is used.
     """
     telemetry = telemetry or Telemetry()
+    if engine not in ("shared", "naive"):
+        raise ExperimentError(
+            f"unknown sweep engine {engine!r}; pick 'shared' or 'naive'"
+        )
     series = BudgetSweepSeries(name=name)
     calls_before = optimizer.calls
-    with telemetry.tracer.span("sweep.extend", series=name):
-        for w in budget_shares:
-            budget = relative_budget(workload.schema, w)
-            algorithm = (
-                algorithm_factory(optimizer)
-                if algorithm_factory
-                else ExtendAlgorithm(optimizer, telemetry=telemetry)
+    with telemetry.tracer.span("sweep.extend", series=name, engine=engine):
+        if engine == "shared":
+
+            def on_point(point):
+                _progress(
+                    verbose,
+                    f"{name} w={point.budget_share:g}: "
+                    f"cost={point.result.total_cost:.4g} "
+                    f"in {point.result.runtime_seconds:.2f}s "
+                    f"(+{point.whatif_calls} calls)",
+                )
+
+            sweep = sweep_select(
+                workload,
+                optimizer,
+                budget_shares,
+                algorithm_factory=algorithm_factory,
+                telemetry=telemetry,
+                warm_store=warm_store,
+                point_callback=on_point,
             )
-            with telemetry.tracer.span("sweep.point", w=w):
-                result = algorithm.select(workload, budget)
-                cost = _series_cost(result, cost_fn)
-            series.add(w, cost, result.runtime_seconds)
-            _progress(
-                verbose,
-                f"{name} w={w:g}: cost={cost:.4g} "
-                f"in {result.runtime_seconds:.2f}s",
-            )
+            for point in sweep.points:
+                series.add(
+                    point.budget_share,
+                    _series_cost(point.result, cost_fn),
+                    point.result.runtime_seconds,
+                    whatif_calls=point.whatif_calls,
+                )
+        else:
+            for w in budget_shares:
+                budget = relative_budget(workload.schema, w)
+                algorithm = (
+                    algorithm_factory(optimizer)
+                    if algorithm_factory
+                    else ExtendAlgorithm(optimizer, telemetry=telemetry)
+                )
+                point_calls = optimizer.calls
+                with telemetry.tracer.span("sweep.point", w=w):
+                    result = algorithm.select(workload, budget)
+                    cost = _series_cost(result, cost_fn)
+                series.add(
+                    w,
+                    cost,
+                    result.runtime_seconds,
+                    whatif_calls=optimizer.calls - point_calls,
+                )
+                _progress(
+                    verbose,
+                    f"{name} w={w:g}: cost={cost:.4g} "
+                    f"in {result.runtime_seconds:.2f}s",
+                )
     series.whatif_calls = optimizer.calls - calls_before
     return series
 
@@ -175,47 +252,100 @@ def sweep_cophy(
     cost_fn: Callable[[SelectionResult], float] | None = None,
     telemetry: Telemetry | None = None,
     verbose: bool = False,
+    point_parallelism: int = 1,
 ) -> BudgetSweepSeries:
     """Run CoPhy once per budget share over a fixed candidate set.
 
     Budgets where the solver DNFs are recorded as ``inf`` cost with a
     note, mirroring Table I's DNF entries; the DNF runtime is read from
     the tracer span that wrapped the attempt.
+
+    CoPhy points share nothing across budgets (one LP per budget over a
+    fixed candidate set), so ``point_parallelism > 1`` fans them out
+    over threads — each point gets a fresh solver instance against the
+    shared (thread-safe) what-if facade, the threads drive the resident
+    process pool when the sharded kernel is active, and the assembled
+    series is bit-identical to the serial loop.  ``cost_fn`` is applied
+    serially during assembly either way (Fig. 5's measured executions
+    must not overlap).
     """
     telemetry = telemetry or Telemetry()
     series = BudgetSweepSeries(name=name)
-    algorithm = CoPhyAlgorithm(
-        optimizer,
-        mip_gap=mip_gap,
-        time_limit=time_limit,
-        telemetry=telemetry,
-    )
+
+    def build_algorithm() -> CoPhyAlgorithm:
+        return CoPhyAlgorithm(
+            optimizer,
+            mip_gap=mip_gap,
+            time_limit=time_limit,
+            telemetry=telemetry,
+        )
+
+    def record(w, result, runtime, point_calls) -> None:
+        if result is None:
+            series.add(
+                w, float("inf"), runtime, whatif_calls=point_calls
+            )
+            series.notes.append(f"w={w:g}: DNF (time limit)")
+            _progress(verbose, f"{name} w={w:g}: DNF")
+            return
+        cost = _series_cost(result, cost_fn)
+        series.add(w, cost, runtime, whatif_calls=point_calls)
+        if result.timed_out:
+            series.notes.append(
+                f"w={w:g}: time limit hit, incumbent returned"
+            )
+        _progress(
+            verbose,
+            f"{name} w={w:g}: cost={cost:.4g} "
+            f"solve={result.runtime_seconds:.1f}s"
+            + (" (timed out)" if result.timed_out else ""),
+        )
+
     calls_before = optimizer.calls
     with telemetry.tracer.span("sweep.cophy", series=name):
-        for w in budget_shares:
-            budget = relative_budget(workload.schema, w)
-            with telemetry.tracer.span("sweep.point", w=w) as point_span:
+        if point_parallelism > 1:
+
+            def run_point(w):
+                algorithm = build_algorithm()
+                budget = relative_budget(workload.schema, w)
+                started = time.perf_counter()
                 try:
                     result = algorithm.select(workload, budget, candidates)
-                    cost = _series_cost(result, cost_fn)
                 except SolverTimeoutError:
-                    result = None
-            if result is None:
-                series.add(w, float("inf"), point_span.duration_seconds)
-                series.notes.append(f"w={w:g}: DNF (time limit)")
-                _progress(verbose, f"{name} w={w:g}: DNF")
-                continue
-            series.add(w, cost, result.runtime_seconds)
-            if result.timed_out:
-                series.notes.append(
-                    f"w={w:g}: time limit hit, incumbent returned"
-                )
-            _progress(
-                verbose,
-                f"{name} w={w:g}: cost={cost:.4g} "
-                f"solve={result.runtime_seconds:.1f}s"
-                + (" (timed out)" if result.timed_out else ""),
+                    return None, time.perf_counter() - started, 0
+                return result, result.runtime_seconds, result.whatif_calls
+
+            outcomes = sweep_points_parallel(
+                budget_shares, run_point, parallelism=point_parallelism
             )
+            for w, (result, runtime, point_calls) in zip(
+                budget_shares, outcomes
+            ):
+                record(w, result, runtime, point_calls)
+        else:
+            algorithm = build_algorithm()
+            for w in budget_shares:
+                budget = relative_budget(workload.schema, w)
+                point_calls = optimizer.calls
+                with telemetry.tracer.span(
+                    "sweep.point", w=w
+                ) as point_span:
+                    try:
+                        result = algorithm.select(
+                            workload, budget, candidates
+                        )
+                    except SolverTimeoutError:
+                        result = None
+                record(
+                    w,
+                    result,
+                    (
+                        point_span.duration_seconds
+                        if result is None
+                        else result.runtime_seconds
+                    ),
+                    optimizer.calls - point_calls,
+                )
     series.whatif_calls = optimizer.calls - calls_before
     return series
 
@@ -228,17 +358,51 @@ def sweep_heuristic(
     *,
     cost_fn: Callable[[SelectionResult], float] | None = None,
     telemetry: Telemetry | None = None,
+    point_parallelism: int = 1,
+    heuristic_factory: Callable[[], object] | None = None,
 ) -> BudgetSweepSeries:
-    """Run a :class:`RankingHeuristic` once per budget share."""
+    """Run a :class:`RankingHeuristic` once per budget share.
+
+    Heuristic points are independent (one ranked greedy pass per
+    budget), so ``point_parallelism > 1`` fans them out over threads
+    when ``heuristic_factory`` builds a fresh heuristic per point
+    (instances are not assumed thread-safe; the shared what-if facade
+    is).  Without a factory the sweep stays serial.  The assembled
+    series is bit-identical to the serial loop either way.
+    """
     telemetry = telemetry or Telemetry()
     series = BudgetSweepSeries(name=heuristic.name)
     calls_before = heuristic.optimizer.calls
     with telemetry.tracer.span("sweep.heuristic", series=heuristic.name):
-        for w in budget_shares:
-            budget = relative_budget(workload.schema, w)
-            with telemetry.tracer.span("sweep.point", w=w):
-                result = heuristic.select(workload, budget, candidates)
-                cost = _series_cost(result, cost_fn)
-            series.add(w, cost, result.runtime_seconds)
+        if point_parallelism > 1 and heuristic_factory is not None:
+
+            def run_point(w):
+                runner = heuristic_factory()
+                budget = relative_budget(workload.schema, w)
+                return runner.select(workload, budget, candidates)
+
+            results = sweep_points_parallel(
+                budget_shares, run_point, parallelism=point_parallelism
+            )
+            for w, result in zip(budget_shares, results):
+                series.add(
+                    w,
+                    _series_cost(result, cost_fn),
+                    result.runtime_seconds,
+                    whatif_calls=result.whatif_calls,
+                )
+        else:
+            for w in budget_shares:
+                budget = relative_budget(workload.schema, w)
+                point_calls = heuristic.optimizer.calls
+                with telemetry.tracer.span("sweep.point", w=w):
+                    result = heuristic.select(workload, budget, candidates)
+                    cost = _series_cost(result, cost_fn)
+                series.add(
+                    w,
+                    cost,
+                    result.runtime_seconds,
+                    whatif_calls=heuristic.optimizer.calls - point_calls,
+                )
     series.whatif_calls = heuristic.optimizer.calls - calls_before
     return series

@@ -53,6 +53,7 @@ class Fig2Config:
     time_limit: float = 120.0
     include_imax: bool = True
     seed: int = 1909
+    sweep_engine: str = "shared"
 
 
 def run(
@@ -75,7 +76,13 @@ def run(
     )
 
     series = [
-        sweep_extend(workload, optimizer, budgets, verbose=verbose)
+        sweep_extend(
+            workload,
+            optimizer,
+            budgets,
+            verbose=verbose,
+            engine=config.sweep_engine,
+        )
     ]
     for heuristic_name, heuristic in CANDIDATE_HEURISTICS.items():
         candidates = heuristic(statistics, config.candidate_set_size, 4)
@@ -135,11 +142,20 @@ def main(argv: list[str] | None = None) -> None:
         help="skip the exhaustive-candidate CoPhy reference",
     )
     parser.add_argument("--time-limit", type=float, default=120.0)
+    parser.add_argument(
+        "--sweep-engine",
+        choices=("shared", "naive"),
+        default="shared",
+        help="Extend sweep engine: 'shared' reuses one warm "
+        "cost-column store across budgets (default), 'naive' is the "
+        "historical per-budget loop (bit-identical, slower)",
+    )
     arguments = parser.parse_args(argv)
     config = Fig2Config(
         queries_per_table=arguments.queries_per_table,
         include_imax=not arguments.no_imax,
         time_limit=arguments.time_limit,
+        sweep_engine=arguments.sweep_engine,
     )
     print(render(run(config, verbose=True)))
 

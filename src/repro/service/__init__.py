@@ -29,7 +29,12 @@ from repro.service.registry import (
     WorkloadRegistration,
     WorkloadRegistry,
 )
-from repro.service.request import RecommendRequest, RecommendResponse
+from repro.service.request import (
+    RecommendRequest,
+    RecommendResponse,
+    SweepRequest,
+    SweepResponse,
+)
 from repro.service.streams import EventStream, StreamSink
 from repro.service.protocol import error_code, serve_loop
 
@@ -44,6 +49,8 @@ __all__ = [
     "ServiceStatistics",
     "ServiceTicket",
     "StreamSink",
+    "SweepRequest",
+    "SweepResponse",
     "WorkloadRegistration",
     "WorkloadRegistry",
     "error_code",

@@ -27,6 +27,14 @@ Scenarios (``SCENARIOS``):
     record the degradation (a transient failure and a retry), and the
     shard statistics must show exactly one lost batch and one pool
     rebuild.
+``sweep_worker_death``
+    A multi-budget frontier sweep's worker dies mid-sweep (an
+    exploding backend call aimed, by a fault-free probe run, inside a
+    later point's pricing window).  The sweep must degrade to a
+    *tagged partial frontier* — the already-answered budget prefix,
+    ``partial`` flagged, the unanswered shares listed as skipped — not
+    crash, and the service must answer a repeat sweep over the same
+    registration cleanly afterwards.
 ``malformed_lines``
     The JSON-lines loop is fed truncated JSON, binary junk, non-object
     lines, and unknown ops; every line must produce exactly one
@@ -90,7 +98,11 @@ from repro.resilience.faults import (
 )
 from repro.service.daemon import AdvisorService
 from repro.service.protocol import serve_loop
-from repro.service.request import RecommendRequest
+from repro.service.request import RecommendRequest, SweepRequest
+from repro.workload.enterprise import (
+    EnterpriseConfig,
+    generate_enterprise_workload,
+)
 from repro.workload.generator import GeneratorConfig, generate_workload
 
 __all__ = ["ChaosHarness", "ScenarioReport", "SCENARIOS", "main"]
@@ -98,6 +110,7 @@ __all__ = ["ChaosHarness", "ScenarioReport", "SCENARIOS", "main"]
 SCENARIOS = (
     "worker_death",
     "shard_worker_death",
+    "sweep_worker_death",
     "malformed_lines",
     "client_disconnect",
     "corrupt_snapshot",
@@ -107,6 +120,15 @@ SCENARIOS = (
 
 _BUDGET_SHARE = 0.3
 _OUTCOME_WAIT_S = 30.0
+
+# Sweep-chaos grid: on the enterprise workload below, at least one
+# budget past the first still prices fresh candidates (tight budgets
+# reject the wide indexes the big-budget pass priced and fall back to
+# narrow ones it never saw), which is what gives the scripted death a
+# non-empty window to land in.  The uniform generator workloads are
+# warm-covered after the first point and would make the scenario
+# vacuous.
+_SWEEP_SHARES = (0.1, 0.05, 0.02, 0.01)
 
 
 @dataclass
@@ -591,6 +613,202 @@ class ChaosHarness:
         finally:
             self._settle_and_check(service, tickets, report)
             source.close()
+        return report
+
+    def _run_sweep_worker_death(self) -> ScenarioReport:
+        report = ScenarioReport("sweep_worker_death", self.seed)
+        rng = random.Random(self.seed)
+        workload = generate_enterprise_workload(
+            EnterpriseConfig(scale=0.05, seed=500)
+        )
+        schema = workload.schema
+
+        def _source(die_on: frozenset[int] = frozenset()):
+            return _ExplodingSource(
+                schema,
+                die_on=die_on,
+                hang_on=None,
+                gate=threading.Event(),
+                hang_started=threading.Event(),
+            )
+
+        # Probe pass: a fault-free twin service runs the exact sweep
+        # the victim will run and reports each point's backend-call
+        # delta, which maps the raw-call windows the death can be
+        # aimed into.  Both services are deterministic from the same
+        # cold state, so the victim replays the probe's call sequence
+        # call for call.
+        probe_source = _source()
+        with AdvisorService(
+            schema,
+            max_concurrency=1,
+            queue_depth=4,
+            cost_source=probe_source,
+        ) as probe:
+            probe.register_workload("sweep-probe", workload)
+            probed = probe.sweep(
+                SweepRequest(
+                    workload="sweep-probe",
+                    budget_shares=_SWEEP_SHARES,
+                )
+            )
+        ordered = sorted(
+            probed.sweep.points,
+            key=lambda point: point.execution_order,
+        )
+        if probe_source._calls != sum(
+            point.whatif_calls for point in ordered
+        ):
+            report.violations.append(
+                "facade call deltas no longer map 1:1 onto raw "
+                f"backend calls ({probe_source._calls} raw vs "
+                f"{sum(p.whatif_calls for p in ordered)} facade); "
+                "the death window cannot be aimed"
+            )
+            return report
+        # Vacuity guard: the death must land *mid-sweep*, i.e. in a
+        # point past the first — which requires such a point to make
+        # backend calls at all.
+        eligible = [
+            position
+            for position, point in enumerate(ordered)
+            if position >= 1 and point.whatif_calls > 0
+        ]
+        report.details["point_calls"] = [
+            point.whatif_calls for point in ordered
+        ]
+        if not eligible:
+            report.violations.append(
+                "no sweep point past the first prices anything on "
+                "this workload; scenario vacuous"
+            )
+            return report
+        target = rng.choice(eligible)
+        window_start = sum(
+            point.whatif_calls for point in ordered[:target]
+        )
+        die_call = rng.randint(
+            window_start + 1,
+            window_start + ordered[target].whatif_calls,
+        )
+        expected_shares = [
+            point.budget_share for point in ordered[:target]
+        ]
+        report.details["death_point"] = target
+        report.details["die_call"] = die_call
+
+        source = _source(die_on=frozenset({die_call}))
+        service = AdvisorService(
+            schema,
+            max_concurrency=1,
+            queue_depth=4,
+            cost_source=source,
+            drain_timeout_s=5.0,
+        )
+        tickets: list = []
+        try:
+            service.register_workload("sweep-chaos", workload)
+            ticket = service.submit_sweep(
+                SweepRequest(
+                    workload="sweep-chaos",
+                    budget_shares=_SWEEP_SHARES,
+                    request_id="sweep-death-0",
+                )
+            )
+            tickets.append(ticket)
+            events = list(
+                ticket.stream.events(timeout_s=_OUTCOME_WAIT_S)
+            )
+            point_events = [
+                event
+                for event in events
+                if event.get("type") == "sweep_point"
+            ]
+            response, error = _outcome(ticket, report)
+            if error is not None:
+                report.violations.append(
+                    "mid-sweep worker death failed the whole request "
+                    f"({error!r}) instead of degrading to a partial "
+                    "frontier"
+                )
+            elif response is not None:
+                if not response.partial:
+                    report.violations.append(
+                        "sweep completed despite the scripted worker "
+                        "death; the death never fired"
+                    )
+                if response.status != "degraded":
+                    report.violations.append(
+                        "partial frontier is not tagged degraded "
+                        f"(status {response.status!r})"
+                    )
+                answered = [
+                    point.budget_share
+                    for point in sorted(
+                        response.sweep.points,
+                        key=lambda point: point.execution_order,
+                    )
+                ]
+                report.details["answered_shares"] = answered
+                if answered != expected_shares:
+                    report.violations.append(
+                        f"partial frontier answered {answered}, "
+                        "expected exactly the pre-death prefix "
+                        f"{expected_shares}"
+                    )
+                if sorted(
+                    answered + list(response.sweep.skipped_shares),
+                    reverse=True,
+                ) != list(_SWEEP_SHARES):
+                    report.violations.append(
+                        "answered + skipped shares do not add back "
+                        "up to the requested grid (skipped "
+                        f"{list(response.sweep.skipped_shares)})"
+                    )
+                if not response.sweep.notes:
+                    report.violations.append(
+                        "partial frontier carries no note explaining "
+                        "the truncation"
+                    )
+                if len(point_events) != len(answered):
+                    report.violations.append(
+                        f"stream published {len(point_events)} "
+                        f"sweep_point events for {len(answered)} "
+                        "answered points"
+                    )
+                if response.gauges.get("sweep.partial") != 1:
+                    report.violations.append(
+                        "sweep.partial gauge not set on the partial "
+                        "response"
+                    )
+            # The service must survive its worker's death: the same
+            # registration answers a repeat sweep cleanly (the
+            # scripted death is one-shot, the completed prefix stayed
+            # warm).
+            repeat_ticket = service.submit_sweep(
+                SweepRequest(
+                    workload="sweep-chaos",
+                    budget_shares=_SWEEP_SHARES,
+                    request_id="sweep-death-1",
+                )
+            )
+            tickets.append(repeat_ticket)
+            repeat, repeat_error = _outcome(repeat_ticket, report)
+            if repeat_error is not None:
+                report.violations.append(
+                    "repeat sweep after the worker death failed "
+                    f"({repeat_error!r}); the service did not recover"
+                )
+            elif repeat is not None and (
+                repeat.partial or repeat.status != "completed"
+            ):
+                report.violations.append(
+                    "repeat sweep after the worker death finished "
+                    f"{repeat.status!r} (partial={repeat.partial}), "
+                    "expected a clean full frontier"
+                )
+        finally:
+            self._settle_and_check(service, tickets, report)
         return report
 
     def _run_coalescer_waiter_storm(self) -> ScenarioReport:

@@ -56,6 +56,7 @@ from repro.advisor import (
 )
 from repro.core.evaluation import EvaluationConfig
 from repro.core.steps import STATUS_DEGRADED
+from repro.core.sweep import sweep_select
 from repro.cost.whatif import CostSource
 from repro.exceptions import (
     ExperimentError,
@@ -76,7 +77,12 @@ from repro.service.registry import (
     WorkloadRegistration,
     WorkloadRegistry,
 )
-from repro.service.request import RecommendRequest, RecommendResponse
+from repro.service.request import (
+    RecommendRequest,
+    RecommendResponse,
+    SweepRequest,
+    SweepResponse,
+)
 from repro.service.streams import EventStream, StreamSink
 from repro.telemetry import Telemetry
 from repro.telemetry.metrics import MetricsRegistry
@@ -734,6 +740,56 @@ class AdvisorService:
         # update_workload must not tear an admitted request.
         workload = registration.workload
         version = registration.version
+        record = self._admit(request.request_id, request.deadline_s)
+        self._pool.submit(
+            lambda: self._run(
+                record, request, registration, workload, version,
+                kernel, budget,
+            )
+        )
+        return ServiceTicket(record.request_id, record.stream, record.future)
+
+    def submit_sweep(self, request: SweepRequest) -> ServiceTicket:
+        """Admit one multi-budget frontier request.
+
+        The whole sweep holds a single concurrency slot and a single
+        deadline: admission control sees one request no matter how many
+        budget shares it answers.  Execution runs through the shared
+        sweep engine over the registration's resident warm benefit
+        store, so a sweep over a warm registration re-prices nothing —
+        and per-point progress streams on the ticket's event stream
+        (``sweep_point`` records between the step events).
+        """
+        registration = self._registry.get(request.workload)
+        kernel = request.cost_kernel or self._default_kernel
+        if kernel not in COST_KERNELS:
+            raise ExperimentError(
+                f"unknown cost kernel {kernel!r}; pick one of "
+                f"{', '.join(COST_KERNELS)}"
+            )
+        # Shares were range-checked by SweepRequest; coercing each one
+        # against the schema keeps budget validation synchronous too.
+        for share in request.budget_shares:
+            coerce_budget(self._schema, share, None)
+        workload = registration.workload
+        version = registration.version
+        record = self._admit(request.request_id, request.deadline_s)
+        self._pool.submit(
+            lambda: self._run_sweep(
+                record, request, registration, workload, version, kernel,
+            )
+        )
+        return ServiceTicket(record.request_id, record.stream, record.future)
+
+    def _admit(
+        self, request_id: str | None, deadline_s: float | None
+    ) -> _RequestRecord:
+        """Admission control shared by every request shape.
+
+        Applies the capacity gate, registers the request record, and
+        starts its deadline clock; raises synchronously when the
+        service is closed, draining, or at capacity.
+        """
         with self._lock:
             if self._closed:
                 raise ServiceError("submit() on a closed AdvisorService")
@@ -762,34 +818,27 @@ class AdvisorService:
                 statistics.peak_queue_depth, statistics.queue_depth
             )
             self._request_counter += 1
-            request_id = (
-                request.request_id or f"req-{self._request_counter}"
-            )
-            stream = EventStream(request_id)
-            deadline_s = (
-                request.deadline_s
-                if request.deadline_s is not None
-                else self._default_deadline_s
-            )
+            resolved_id = request_id or f"req-{self._request_counter}"
+            stream = EventStream(resolved_id)
+            if deadline_s is None:
+                deadline_s = self._default_deadline_s
             record = _RequestRecord(
-                request_id,
+                resolved_id,
                 stream,
                 Future(),
                 Deadline(deadline_s, clock=self._clock),
                 self._clock(),
             )
-            self._active[request_id] = record
-        self._pool.submit(
-            lambda: self._run(
-                record, request, registration, workload, version,
-                kernel, budget,
-            )
-        )
-        return ServiceTicket(request_id, stream, record.future)
+            self._active[resolved_id] = record
+        return record
 
     def recommend(self, request: RecommendRequest) -> RecommendResponse:
         """Submit and block for the response (the synchronous path)."""
         return self.submit(request).result()
+
+    def sweep(self, request: SweepRequest) -> SweepResponse:
+        """Submit a frontier request and block for the response."""
+        return self.submit_sweep(request).result()
 
     def subscribe(self, request_id: str) -> EventStream:
         """The live event stream of an in-flight request."""
@@ -919,6 +968,140 @@ class AdvisorService:
                 wall_seconds=wall_seconds,
                 queue_seconds=queue_seconds,
                 result=result,
+                indexes=indexes,
+                gauges=gauges,
+            )
+            record.stream.finish()
+            record.future.set_result(response)
+        except BaseException as error:  # noqa: BLE001 - future carries it
+            if not self._fail(record, error):
+                logger.warning(
+                    "late failure of already-resolved request %s: %r",
+                    record.request_id,
+                    error,
+                )
+        finally:
+            telemetry.close()
+
+    def _run_sweep(
+        self,
+        record: _RequestRecord,
+        request: SweepRequest,
+        registration: WorkloadRegistration,
+        workload: Workload,
+        version: int,
+        kernel: str,
+    ) -> None:
+        record.worker = threading.current_thread()
+        started = self._clock()
+        queue_seconds = max(0.0, started - record.submitted_at)
+        telemetry = Telemetry(sinks=(StreamSink(record.stream),))
+        try:
+            resilient, optimizer = self._stacks.stack(kernel)
+            warm_store = registration.warm_store(kernel)
+            warm = len(warm_store) > 0
+            before = optimizer.statistics.copy()
+
+            def on_point(point) -> None:
+                # Per-point boundary events between the step events:
+                # published straight on the stream (the protocol loop
+                # forwards every stream record), so streaming clients
+                # watch the frontier fill in point by point.
+                record.stream.publish(
+                    {
+                        "type": "sweep_point",
+                        "request_id": record.request_id,
+                        "budget_share": point.budget_share,
+                        "status": point.result.status,
+                        "total_cost": point.result.total_cost,
+                        "memory": point.result.memory,
+                        "whatif_calls": point.whatif_calls,
+                        "execution_order": point.execution_order,
+                    }
+                )
+
+            # on_error="partial": a worker failure mid-sweep degrades
+            # to the points already answered (a tagged partial
+            # frontier); with nothing answered yet it propagates and
+            # fails the request like any other worker death.
+            with waiter_deadline(record.deadline):
+                sweep_result = sweep_select(
+                    workload,
+                    optimizer,
+                    request.budget_shares,
+                    telemetry=telemetry,
+                    warm_store=warm_store,
+                    evaluation=EvaluationConfig(
+                        parallelism=request.parallelism
+                    ),
+                    deadline=record.deadline,
+                    on_error="partial",
+                    point_callback=on_point,
+                )
+            wall_seconds = max(0.0, self._clock() - started)
+            telemetry.record_whatif(optimizer.statistics.since(before))
+            telemetry.record_resilience(resilient.statistics)
+            coalescer = self._coalescers.get(kernel)
+            if coalescer is not None:
+                coalescer.statistics.publish(telemetry.metrics)
+            kernel_statistics = self._stacks.vectorized_statistics()
+            if kernel_statistics is not None:
+                telemetry.record_kernel(kernel_statistics)
+            shard_statistics = self._stacks.shard_statistics()
+            if shard_statistics is not None:
+                telemetry.record_kernel(shard_statistics)
+            status = sweep_result.status
+            lifetime = self._account_completion(
+                record,
+                registration,
+                degraded=status == STATUS_DEGRADED,
+                warm=warm,
+                queue_seconds=queue_seconds,
+                wall_seconds=wall_seconds,
+            )
+            if lifetime is None:
+                return
+            metrics = telemetry.metrics
+            lifetime.publish(metrics)
+            sweep_result.statistics.publish(metrics)
+            metrics.gauge("service.queue_seconds").set(queue_seconds)
+            metrics.gauge("service.wall_seconds").set(wall_seconds)
+            metrics.gauge("service.warm").set(1 if warm else 0)
+            metrics.gauge("service.warm_table_hit_rate").set(
+                metrics.snapshot().get("evaluation.warm_hit_rate", 0.0)
+            )
+            metrics.gauge("service.breaker_state").set(
+                resilient.statistics.breaker_state.value
+            )
+            gauges = {
+                name: value
+                for name, value in metrics.snapshot().items()
+                if isinstance(value, (int, float))
+            }
+            schema = workload.schema
+            indexes = {
+                point.budget_share: tuple(
+                    index.label(schema)
+                    for index in sorted(
+                        point.result.configuration,
+                        key=lambda index: (
+                            index.table_name,
+                            index.attributes,
+                        ),
+                    )
+                )
+                for point in sweep_result.points
+            }
+            response = SweepResponse(
+                request_id=record.request_id,
+                workload=request.workload,
+                workload_version=version,
+                status=status,
+                partial=sweep_result.partial,
+                warm=warm,
+                wall_seconds=wall_seconds,
+                queue_seconds=queue_seconds,
+                sweep=sweep_result,
                 indexes=indexes,
                 gauges=gauges,
             )

@@ -13,6 +13,8 @@ Operations (``"op"`` key)::
     {"op": "evict",    "workload": "w1"}
     {"op": "recommend", "workload": "w1", "budget_share": 0.3,
      "algorithm": "extend", "deadline_s": 2.0, "stream": true}
+    {"op": "sweep",     "workload": "w1", "budget_shares": [0.1, 0.3],
+     "stream": true}                      # or "budget_sweep": "0.1:1.0:10"
     {"op": "stats"}
     {"op": "health"}
     {"op": "ready"}
@@ -73,7 +75,8 @@ from repro.exceptions import (
     UnknownWorkloadError,
     WatchdogTimeoutError,
 )
-from repro.service.request import RecommendRequest
+from repro.core.sweep import parse_budget_sweep
+from repro.service.request import RecommendRequest, SweepRequest
 
 __all__ = ["error_code", "serve_loop"]
 
@@ -86,6 +89,15 @@ _REQUEST_FIELDS = (
     "deadline_s",
     "parallelism",
     "candidate_width",
+    "request_id",
+)
+
+_SWEEP_FIELDS = (
+    "workload",
+    "budget_shares",
+    "cost_kernel",
+    "deadline_s",
+    "parallelism",
     "request_id",
 )
 
@@ -186,6 +198,42 @@ def _recommend_request(
     return RecommendRequest(**fields)
 
 
+def _sweep_request(message: dict, defaults: dict | None) -> SweepRequest:
+    fields = {
+        key: value
+        for key, value in (defaults or {}).items()
+        if key in _SWEEP_FIELDS
+    }
+    fields.update(
+        {
+            key: message[key]
+            for key in _SWEEP_FIELDS
+            if message.get(key) is not None
+        }
+    )
+    spec = message.get("budget_sweep")
+    if spec is not None:
+        if fields.get("budget_shares"):
+            raise ServiceError(
+                "pass either 'budget_shares' or 'budget_sweep', not both"
+            )
+        if not isinstance(spec, str):
+            raise ServiceError(
+                "'budget_sweep' must be a 'low:high:steps' string"
+            )
+        fields["budget_shares"] = parse_budget_sweep(spec)
+    shares = fields.get("budget_shares")
+    if isinstance(shares, list):
+        fields["budget_shares"] = tuple(shares)
+    elif shares is None:
+        raise ServiceError(
+            "sweep needs 'budget_shares' (a list of shares) or "
+            "'budget_sweep' ('low:high:steps')"
+        )
+    fields["workload"] = _workload_name(message)
+    return SweepRequest(**fields)
+
+
 def _handle(
     service, message: dict, emit, defaults: dict | None
 ) -> bool:
@@ -244,6 +292,20 @@ def _handle(
             response = ticket.result()
         else:
             response = service.recommend(request)
+        emit({"ok": True, "op": op, **response.to_dict()})
+    elif op == "sweep":
+        request = _sweep_request(message, defaults)
+        if message.get("stream"):
+            ticket = service.submit_sweep(request)
+            try:
+                for event in ticket.stream.events():
+                    emit({"ok": True, "op": "event", **event})
+            except _ClientDisconnected:
+                ticket.outcome()
+                raise
+            response = ticket.result()
+        else:
+            response = service.sweep(request)
         emit({"ok": True, "op": op, **response.to_dict()})
     elif op == "stats":
         emit(

@@ -14,9 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.steps import SelectionResult, STATUS_DEGRADED
+from repro.core.sweep import SweepResult, normalize_budget_shares
 from repro.exceptions import BudgetError, ExperimentError
 
-__all__ = ["RecommendRequest", "RecommendResponse"]
+__all__ = [
+    "RecommendRequest",
+    "RecommendResponse",
+    "SweepRequest",
+    "SweepResponse",
+]
 
 
 @dataclass(frozen=True)
@@ -110,5 +116,114 @@ class RecommendResponse:
             "budget": self.result.budget,
             "whatif_calls": self.result.whatif_calls,
             "indexes": list(self.indexes),
+            "gauges": dict(self.gauges),
+        }
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One multi-budget frontier request against a registered workload.
+
+    The sweep is admission-controlled as *one* request (one concurrency
+    slot, one deadline covering all points) and runs through the shared
+    sweep engine of :mod:`repro.core.sweep`: budget shares execute
+    descending over the registration's resident warm benefit store, so
+    a frontier costs roughly one recommendation's worth of backend
+    calls — and a repeat sweep over a warm registration costs none.
+
+    Parameters
+    ----------
+    workload:
+        Name of a registered workload.
+    budget_shares:
+        The Eq. 10 shares to answer; strict request inputs — each must
+        lie in ``(0, 1]``, duplicates are rejected.
+    cost_kernel / deadline_s / parallelism / request_id:
+        As on :class:`RecommendRequest`.  On deadline expiry the sweep
+        degrades to a tagged *partial* frontier of the points already
+        answered instead of failing.
+    """
+
+    workload: str
+    budget_shares: tuple[float, ...] = ()
+    cost_kernel: str | None = None
+    deadline_s: float | None = None
+    parallelism: int = 1
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ExperimentError("request needs a workload name")
+        object.__setattr__(
+            self,
+            "budget_shares",
+            normalize_budget_shares(self.budget_shares),
+        )
+        if self.parallelism < 1:
+            raise BudgetError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise BudgetError(
+                f"deadline_s must be >= 0, got {self.deadline_s}"
+            )
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    """The outcome of one frontier request."""
+
+    request_id: str
+    workload: str
+    workload_version: int
+    status: str
+    partial: bool
+    """True when the sweep was truncated (deadline expiry or a
+    mid-sweep worker failure) — the frontier covers only the
+    budget shares listed in ``sweep.points``."""
+    warm: bool
+    wall_seconds: float
+    queue_seconds: float
+    sweep: SweepResult
+    indexes: dict[float, tuple[str, ...]] = field(default_factory=dict)
+    """Recommended index labels per answered budget share."""
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any point degraded or the frontier is partial."""
+        return self.status == STATUS_DEGRADED
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering for the line protocol."""
+        return {
+            "request_id": self.request_id,
+            "workload": self.workload,
+            "workload_version": self.workload_version,
+            "status": self.status,
+            "partial": self.partial,
+            "warm": self.warm,
+            "wall_seconds": self.wall_seconds,
+            "queue_seconds": self.queue_seconds,
+            "points": [
+                {
+                    "budget_share": point.budget_share,
+                    "status": point.result.status,
+                    "total_cost": point.result.total_cost,
+                    "memory": point.result.memory,
+                    "budget": point.result.budget,
+                    "whatif_calls": point.whatif_calls,
+                    "indexes": list(
+                        self.indexes.get(point.budget_share, ())
+                    ),
+                }
+                for point in self.sweep.points
+            ],
+            "frontier": [
+                {"budget_share": fp.memory, "total_cost": fp.cost}
+                for fp in self.sweep.frontier
+            ],
+            "skipped_shares": list(self.sweep.skipped_shares),
+            "notes": list(self.sweep.notes),
             "gauges": dict(self.gauges),
         }

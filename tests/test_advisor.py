@@ -226,3 +226,82 @@ class TestResilienceIntegration:
         assert recommendation.result.status == STATUS_DEGRADED
         # Degradation is visible in the rendered summary too.
         assert "[degraded]" in recommendation.result.summary()
+
+
+class TestRecommendSweep:
+    SHARES = (0.2, 0.5, 0.8)
+
+    def test_points_match_individual_recommends(self, advisor):
+        sweep = advisor.recommend_sweep(
+            _SQL, budget_shares=self.SHARES
+        )
+        assert not sweep.partial
+        assert [
+            point.budget_share for point in sweep.points
+        ] == list(self.SHARES)
+        for share in self.SHARES:
+            single = advisor.recommend(_SQL, budget_share=share)
+            point = sweep.sweep.point_for(share)
+            assert point is not None
+            assert (
+                point.result.step_trace()
+                == single.result.step_trace()
+            )
+            assert sweep.indexes_at(share) == single.indexes
+
+    def test_indexes_at_unanswered_share_is_none(self, advisor):
+        sweep = advisor.recommend_sweep(
+            _SQL, budget_shares=self.SHARES
+        )
+        assert sweep.indexes_at(0.99) is None
+
+    def test_frontier_is_monotone(self, advisor):
+        sweep = advisor.recommend_sweep(
+            _SQL, budget_shares=self.SHARES
+        )
+        costs = [
+            point.result.total_cost
+            for point in sorted(
+                sweep.points, key=lambda p: p.budget_share
+            )
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    @pytest.mark.parametrize(
+        "bad", [(), (0.3, 0.3), (0.0,), (-0.1,), (1.5,)]
+    )
+    def test_rejects_bad_shares(self, advisor, bad):
+        with pytest.raises(ExperimentError):
+            advisor.recommend_sweep(_SQL, budget_shares=bad)
+
+    def test_rejects_unknown_kernel(self, advisor):
+        with pytest.raises(ExperimentError, match="kernel"):
+            advisor.recommend_sweep(
+                _SQL,
+                budget_shares=self.SHARES,
+                cost_kernel="quantum",
+            )
+
+    def test_zero_deadline_degrades_to_partial(self, advisor):
+        sweep = advisor.recommend_sweep(
+            _SQL, budget_shares=self.SHARES, deadline_s=0.0
+        )
+        assert sweep.partial
+        assert len(sweep.points) == 1
+        # The one answered point is the largest share — execution is
+        # descending — and it is flagged degraded.
+        assert sweep.points[0].budget_share == max(self.SHARES)
+        assert sweep.points[0].result.degraded
+
+    def test_telemetry_snapshot_carries_sweep_gauges(self, tiny_schema):
+        from repro.telemetry import Telemetry
+
+        advisor = IndexAdvisor(tiny_schema, telemetry=Telemetry())
+        sweep = advisor.recommend_sweep(
+            _SQL, budget_shares=self.SHARES
+        )
+        metrics = sweep.telemetry.metrics
+        assert metrics["sweep.points"] == len(self.SHARES)
+        assert metrics["sweep.completed_points"] == len(self.SHARES)
+        assert metrics["sweep.backend_calls"] > 0
+        assert 0.0 <= metrics["sweep.reuse_rate"] <= 1.0

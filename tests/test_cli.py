@@ -389,3 +389,72 @@ class TestArgumentValidation:
             main(["serve", "--queue-depth", "many"])
         assert excinfo.value.code == 2
         assert "positive integer" in capsys.readouterr().err
+
+
+class TestBudgetSweep:
+    _BASE = [
+        "advise",
+        "--tables", "2",
+        "--attributes", "6",
+        "--queries", "6",
+    ]
+
+    def test_sweep_prints_frontier(self, capsys):
+        exit_code = main(self._BASE + ["--budget-sweep", "0.1:0.5:3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "budget sweep w=0.1..0.5 (3 points, shared engine)" in (
+            output
+        )
+        assert "Backend what-if calls:" in output
+        assert "Cost without indexes:" in output
+        # One frontier row per share, in the caller's order.
+        for share in ("0.1", "0.3", "0.5"):
+            assert f"\n   {share}  " in output
+
+    def test_sweep_metrics_include_gauges(self, capsys):
+        exit_code = main(
+            self._BASE + ["--budget-sweep", "0.1:0.5:3", "--metrics"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "sweep.backend_calls" in output
+        assert "sweep.reuse_rate" in output
+
+    def test_zero_deadline_prints_partial_note(self, capsys):
+        exit_code = main(
+            self._BASE
+            + ["--budget-sweep", "0.1:0.5:3", "--deadline", "0"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "partial frontier" in output
+        assert "(degraded)" in output
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "0.5:0.1:3",  # descending range
+            "0.1:1.5:3",  # share above 1
+            "0.1:0.5",  # missing STEPS
+            "a:b:c",  # non-numeric
+            "0.1:0.5:0",  # zero points
+            "-0.1:0.5:3",  # negative low
+        ],
+    )
+    def test_malformed_specs_are_usage_errors(self, capsys, spec):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._BASE + ["--budget-sweep", spec])
+        assert excinfo.value.code == 2
+        assert "--budget-sweep" in capsys.readouterr().err
+
+    def test_rejects_non_extend_algorithms(self, capsys):
+        exit_code = main(
+            self._BASE
+            + ["--budget-sweep", "0.1:0.5:3", "--algorithm", "h2"]
+        )
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "--algorithm" in captured.err
+        assert captured.err.count("\n") == 1
